@@ -1,0 +1,176 @@
+//! The CPU baseline of Fig. 8: Snort 3 + Hyperscan on a 32-core Xeon.
+//!
+//! Two pieces:
+//!
+//! * [`SnortModel`] — a calibrated analytic model of the paper's baseline
+//!   measurement ("the packet rate is limited between 4.7 and 5.6 MPPS"
+//!   across packet sizes, §7.1.3): per-packet software overhead dominates
+//!   and per-byte scanning adds a mild size dependence. The paper's ramdisk
+//!   control (60 → 70 Gbps at 2048 B) showed the NIC path was not the
+//!   bottleneck, so the model charges all cost to the IDS itself.
+//! * [`CpuMatcher`] — a *real* multi-pattern matcher (our Aho–Corasick) run
+//!   on the host CPU, optionally across threads, to ground the shape: CPU
+//!   matching is packet-rate-bound, not byte-rate-bound, for middlebox-size
+//!   packets. The Criterion micro-bench in `rosebud-bench` measures it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rosebud_accel::RuleSet;
+use rosebud_net::Trace;
+
+/// Analytic model of the Snort+Hyperscan baseline.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_apps::snort::SnortModel;
+/// let snort = SnortModel::paper_baseline();
+/// let m64 = snort.mpps(64);
+/// let m2048 = snort.mpps(2048);
+/// assert!(m64 > m2048);
+/// assert!((4.0..6.0).contains(&m64));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SnortModel {
+    /// Physical cores (the paper's Xeon 6130 has 32).
+    pub cores: u32,
+    /// Per-packet cost on one core, nanoseconds (parse, flow lookup,
+    /// AF_PACKET hand-off, Hyperscan invocation overhead).
+    pub per_packet_ns: f64,
+    /// Per-payload-byte scanning cost on one core, nanoseconds.
+    pub per_byte_ns: f64,
+}
+
+impl SnortModel {
+    /// The configuration calibrated to the paper's measurement: 4.7–5.6
+    /// MPPS between 64 B and 2048 B packets on 32 cores.
+    pub fn paper_baseline() -> Self {
+        Self {
+            cores: 32,
+            per_packet_ns: 5_680.0,
+            per_byte_ns: 0.56,
+        }
+    }
+
+    /// Sustained packet rate in MPPS for `size`-byte packets.
+    pub fn mpps(&self, size: u64) -> f64 {
+        let ns_per_packet_one_core = self.per_packet_ns + self.per_byte_ns * size as f64;
+        self.cores as f64 / ns_per_packet_one_core * 1e3
+    }
+
+    /// Sustained effective throughput in Gbps for `size`-byte packets.
+    pub fn gbps(&self, size: u64) -> f64 {
+        self.mpps(size) * 1e6 * size as f64 * 8.0 / 1e9
+    }
+}
+
+/// A real software IDS data path: multi-pattern scan of every packet
+/// payload against a compiled rule set, parallelized across worker threads
+/// with crossbeam — the honest CPU comparator for the micro-benchmarks.
+pub struct CpuMatcher {
+    rules: Arc<RuleSet>,
+}
+
+impl CpuMatcher {
+    /// Wraps a compiled rule set.
+    pub fn new(rules: RuleSet) -> Self {
+        Self {
+            rules: Arc::new(rules),
+        }
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Scans every packet of `trace` on the calling thread; returns the
+    /// number of (packet, rule) match events.
+    pub fn scan_trace(&self, trace: &Trace) -> u64 {
+        let mut hits = 0u64;
+        for pkt in trace {
+            if let (Some(payload), Ok(tcp)) = (pkt.payload(), pkt.tcp()) {
+                hits += self.rules.matches(payload, tcp.src_port, tcp.dst_port).len() as u64;
+            } else if let (Some(payload), Ok(udp)) = (pkt.payload(), pkt.udp()) {
+                hits += self.rules.matches(payload, udp.src_port, udp.dst_port).len() as u64;
+            }
+        }
+        hits
+    }
+
+    /// Scans `trace` across `threads` workers (static partition), returning
+    /// total match events. Models the AF_PACKET fanout the paper enables.
+    pub fn scan_trace_parallel(&self, trace: &Trace, threads: usize) -> u64 {
+        assert!(threads > 0, "need at least one worker");
+        let hits = AtomicU64::new(0);
+        let packets = trace.packets();
+        let chunk = packets.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for part in packets.chunks(chunk.max(1)) {
+                let rules = Arc::clone(&self.rules);
+                let hits = &hits;
+                scope.spawn(move |_| {
+                    let mut local = 0u64;
+                    for pkt in part {
+                        if let (Some(payload), Ok(tcp)) = (pkt.payload(), pkt.tcp()) {
+                            local +=
+                                rules.matches(payload, tcp.src_port, tcp.dst_port).len() as u64;
+                        }
+                    }
+                    hits.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("worker panicked");
+        hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{attack_trace, compile, synthetic_rules};
+
+    #[test]
+    fn paper_baseline_bounds_match_figure_8b() {
+        let snort = SnortModel::paper_baseline();
+        // "the packet rate is limited between 4.7 and 5.6 MPPS".
+        for size in [64u64, 128, 256, 512, 800, 1024, 1500, 2048] {
+            let mpps = snort.mpps(size);
+            assert!(
+                (4.6..5.7).contains(&mpps),
+                "size {size}: {mpps:.2} MPPS outside the paper's band"
+            );
+        }
+        // Ramdisk control: ~60–70 Gbps at 2048 B.
+        let gbps = snort.gbps(2048);
+        assert!((55.0..80.0).contains(&gbps), "2048B: {gbps:.1} Gbps");
+    }
+
+    #[test]
+    fn snort_is_far_below_rosebud_at_small_packets() {
+        // Fig. 8b: Rosebud HW-reorder sustains ~33 MPPS; Snort ~5.
+        let snort = SnortModel::paper_baseline();
+        assert!(snort.mpps(64) < 8.0);
+    }
+
+    #[test]
+    fn cpu_matcher_finds_every_attack() {
+        let rules = synthetic_rules(64, 5);
+        let trace = attack_trace(&rules, 512);
+        let matcher = CpuMatcher::new(compile(rules));
+        assert!(matcher.scan_trace(&trace) >= 64);
+    }
+
+    #[test]
+    fn parallel_scan_agrees_with_serial() {
+        let rules = synthetic_rules(64, 6);
+        let trace = attack_trace(&rules, 1024);
+        let matcher = CpuMatcher::new(compile(rules));
+        let serial = matcher.scan_trace(&trace);
+        for threads in [1, 2, 4] {
+            assert_eq!(matcher.scan_trace_parallel(&trace, threads), serial);
+        }
+    }
+}

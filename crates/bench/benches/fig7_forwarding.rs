@@ -1,0 +1,64 @@
+//! Figure 7 (a) and (b): packet-forwarding throughput as a function of
+//! packet size, for the 16-RPU and 8-RPU layouts at 100 and 200 Gbps.
+//!
+//! The paper's shape: line rate everywhere except 64/65-byte packets, where
+//! the 16-cycle forwarder loop caps the system at 250 Mpps (16 RPUs) /
+//! 125 Mpps (8 RPUs) — 88 % / 89 % of line rate at 200 G.
+
+use rosebud_apps::forwarder::{build_forwarding_system, build_forwarding_system_single_port};
+use rosebud_bench::{heading, measure, versus, FORWARDING_SIZES};
+use rosebud_net::{effective_line_rate_gbps, line_rate_pps, FixedSizeGen};
+
+fn paper_expectation(rpus: usize, gbps: f64, size: usize) -> f64 {
+    // Line rate, clipped by the firmware packet-rate cap (16 cycles/packet
+    // per RPU) and the distribution subsystem's 125 Mpps-per-port limit.
+    let ports = if gbps > 100.0 { 2.0 } else { 1.0 };
+    let fw_cap: f64 = if rpus >= 16 { 250.0 } else { 125.0 };
+    let cap_mpps = fw_cap.min(125.0 * ports);
+    let line_mpps = line_rate_pps(gbps, size as u64) / 1e6;
+    let mpps = line_mpps.min(cap_mpps);
+    mpps * 1e6 * size as f64 * 8.0 / 1e9
+}
+
+fn sweep(rpus: usize, gbps: f64) {
+    heading(&format!(
+        "Fig. 7: forwarding throughput, {rpus} RPUs @ {gbps:.0} Gbps offered"
+    ));
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>28} | {:>8}",
+        "size", "Mpps", "line Mpps", "effective Gbps vs paper", "% line"
+    );
+    for &size in FORWARDING_SIZES {
+        let ports = if gbps > 100.0 { 2 } else { 1 };
+        let sys = if ports == 1 {
+            build_forwarding_system_single_port(rpus).expect("valid config")
+        } else {
+            build_forwarding_system(rpus).expect("valid config")
+        };
+        let warmup = 40_000;
+        let window = 150_000;
+        let (m, _) = measure(
+            sys,
+            Box::new(FixedSizeGen::new(size, ports as u8)),
+            gbps * 1.02, // saturating offered load
+            warmup,
+            window,
+        );
+        let line_mpps = line_rate_pps(gbps, size as u64) / 1e6;
+        let line = effective_line_rate_gbps(gbps, size as u64);
+        let paper = paper_expectation(rpus, gbps, size);
+        println!(
+            "{size:>6} | {:>10.1} | {line_mpps:>10.1} | {} | {:>7.1}%",
+            m.mpps,
+            versus(m.gbps, paper),
+            m.gbps / line * 100.0,
+        );
+    }
+}
+
+fn main() {
+    sweep(16, 200.0);
+    sweep(16, 100.0);
+    sweep(8, 200.0);
+    sweep(8, 100.0);
+}

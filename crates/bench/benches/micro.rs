@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the substrates: multi-pattern matching
+//! throughput (the honest CPU-vs-hardware comparison grounding §7.1.3),
+//! RV32 instruction-set-simulator speed, and whole-system tick rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rosebud_accel::{AhoCorasick, Pattern};
+use rosebud_apps::forwarder::build_forwarding_system;
+use rosebud_apps::rules::{attack_trace, compile, synthetic_rules};
+use rosebud_apps::snort::CpuMatcher;
+use rosebud_core::Harness;
+use rosebud_net::{FixedSizeGen, TrafficGen};
+use rosebud_riscv::{assemble, Cpu, RamBus, StepResult};
+
+fn bench_aho_corasick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aho_corasick_scan");
+    for &patterns in &[16usize, 128, 1024] {
+        let pats: Vec<Pattern> = synthetic_rules(patterns, 3)
+            .into_iter()
+            .map(|r| Pattern::new(r.id, &r.pattern))
+            .collect();
+        let ac = AhoCorasick::build(&pats);
+        let haystack = {
+            let mut gen = FixedSizeGen::new(1500, 1);
+            let mut bytes = Vec::new();
+            for i in 0..64 {
+                bytes.extend_from_slice(gen.generate(i, 0).bytes());
+            }
+            bytes
+        };
+        group.throughput(Throughput::Bytes(haystack.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(patterns),
+            &haystack,
+            |b, haystack| {
+                b.iter(|| {
+                    let mut hits = 0u64;
+                    ac.scan(haystack, |_| hits += 1);
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cpu_matcher_trace(c: &mut Criterion) {
+    // The real software-IDS data path: per-packet multi-pattern scan. This
+    // grounds the Snort baseline's "packet-rate-bound" behaviour.
+    let rules = synthetic_rules(256, 5);
+    let matcher = CpuMatcher::new(compile(rules.clone()));
+    let trace = attack_trace(&rules, 800);
+    let mut group = c.benchmark_group("cpu_ids_scan_trace");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("serial", |b| b.iter(|| matcher.scan_trace(&trace)));
+    group.bench_function("4_threads", |b| {
+        b.iter(|| matcher.scan_trace_parallel(&trace, 4))
+    });
+    group.finish();
+}
+
+fn bench_riscv_iss(c: &mut Criterion) {
+    let image = assemble(
+        "
+            li a0, 0
+            li a1, 1000000
+        loop:
+            addi a0, a0, 3
+            xor a2, a0, a1
+            srli a3, a2, 2
+            add a0, a0, a3
+            addi a1, a1, -1
+            bnez a1, loop
+            ebreak
+        ",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("riscv_iss");
+    group.throughput(Throughput::Elements(600));
+    group.bench_function("steps_per_sec", |b| {
+        b.iter(|| {
+            let mut bus = RamBus::new(4096);
+            bus.load_image(0, image.words());
+            let mut cpu = Cpu::new(0);
+            // 100 loop iterations ≈ 600 instructions.
+            for _ in 0..600 {
+                if matches!(cpu.step(&mut bus), StepResult::Break) {
+                    break;
+                }
+            }
+            cpu.instret()
+        })
+    });
+    group.finish();
+}
+
+fn bench_system_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_tick");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("16rpu_forwarding_1000_cycles", |b| {
+        let sys = build_forwarding_system(16).unwrap();
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 200.0);
+        h.run(20_000); // steady state
+        b.iter(|| {
+            h.run(1000);
+            h.received()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aho_corasick,
+    bench_cpu_matcher_trace,
+    bench_riscv_iss,
+    bench_system_tick
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! §6.3: inter-RPU messaging performance.
+//!
+//! Two experiments: (1) loopback-port throughput under two-step forwarding
+//! — half the RPUs receive from the wire and relay every packet to a
+//! partner RPU over the single 100 Gbps loopback port (60 %/61 % of line
+//! rate at 64/65 B, line rate from 128 B); (2) broadcast-message latency,
+//! sparse (72–92 ns) and saturated (1596–1680 ns at 16 RPUs).
+
+use rosebud_apps::forwarder::build_two_step_system;
+use rosebud_apps::messaging::build_bcast_system;
+use rosebud_bench::{heading, measure, versus};
+use rosebud_net::{effective_line_rate_gbps, FixedSizeGen};
+
+fn loopback_sweep() {
+    heading("§6.3: loopback two-step forwarding (16 RPUs, 100 Gbps offered)");
+    println!(
+        "{:>6} | {:>9} | {:>9} | {:>28}",
+        "size", "Gbps", "line Gbps", "% of line vs paper"
+    );
+    for &size in &[64usize, 65, 128, 256, 512, 1024, 1500] {
+        let sys = build_two_step_system(16).expect("valid config");
+        let (m, _) = measure(
+            sys,
+            Box::new(FixedSizeGen::new(size, 2)),
+            102.0,
+            60_000,
+            150_000,
+        );
+        let line = effective_line_rate_gbps(100.0, size as u64);
+        let pct = m.gbps / line * 100.0;
+        let paper_pct = match size {
+            64 => 60.0,
+            65 => 61.0,
+            _ => 100.0,
+        };
+        println!(
+            "{size:>6} | {:>9.1} | {line:>9.1} | {}",
+            m.gbps,
+            versus(pct, paper_pct)
+        );
+    }
+}
+
+fn broadcast_latency() {
+    heading("§6.3: broadcast-message latency");
+    for (label, rpus, period, paper_lo, paper_hi) in [
+        ("sparse, 16 RPUs", 16usize, 1000u64, 72.0, 92.0),
+        ("saturated, 16 RPUs", 16, 0, 1596.0, 1680.0),
+        ("saturated, 8 RPUs", 8, 0, 630.0, 680.0), // derived: 8×18 grants + pipeline
+    ] {
+        let mut sys = build_bcast_system(rpus, period).expect("valid config");
+        sys.run(80_000);
+        let samples = sys.bcast_latency().samples().to_vec();
+        let steady = &samples[samples.len() / 2..];
+        let mean = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
+        let min = steady.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = steady.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{label:<22}: {min:>6.0}–{max:>6.0} ns (mean {mean:>6.0})   paper: {paper_lo:.0}–{paper_hi:.0} ns"
+        );
+    }
+}
+
+fn main() {
+    loopback_sweep();
+    broadcast_latency();
+}

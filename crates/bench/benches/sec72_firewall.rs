@@ -1,0 +1,42 @@
+//! §7.2: the blacklisting firewall — "We were able to hit 200 Gbps for
+//! packets 256 Bytes and above, while injecting attack traffic within the
+//! background traffic."
+//!
+//! The firmware's per-packet loop (parse EtherType, MMIO the source IP to
+//! the 2-cycle matcher, read the flag, forward/drop) costs ~30 cycles, so
+//! 16 RPUs sustain ~133 Mpps — above the 200 G line rate from 256-byte
+//! packets, below it at 128 bytes and under.
+
+use rosebud_apps::firewall::{build_firewall_system, synthetic_blacklist};
+use rosebud_bench::{heading, measure, versus};
+use rosebud_net::{effective_line_rate_gbps, AttackMixGen, FixedSizeGen};
+
+fn main() {
+    heading("§7.2: firewall throughput, 16 RPUs, 1050-entry blacklist, 2% attack");
+    println!(
+        "{:>6} | {:>9} | {:>28} | {:>10}",
+        "size", "Mpps", "Gbps vs paper", "drops"
+    );
+    let blacklist = synthetic_blacklist(1050, 7);
+    for &size in &[64usize, 128, 256, 512, 800, 1024, 1500] {
+        let sys = build_firewall_system(16, &blacklist).expect("valid config");
+        let base = FixedSizeGen::new(size, 2);
+        let gen = AttackMixGen::new(base, 0.02, Vec::new(), 5)
+            .with_attack_ips(blacklist.clone());
+        let (m, h) = measure(sys, Box::new(gen), 205.0, 60_000, 150_000);
+        let line = effective_line_rate_gbps(200.0, size as u64);
+        // Paper: line rate from 256 B; firmware-bound below. Dropped attack
+        // bytes count as processed (they were absorbed and checked), so add
+        // them into the absorbed figure the paper's RX-bytes reading shows.
+        let absorbed_gbps = m.gbps / (1.0 - 0.02);
+        let paper = if size >= 256 { line } else { line.min(133.0 * size as f64 * 8.0 / 1e3) };
+        println!(
+            "{size:>6} | {:>9.1} | {} | {:>10}",
+            m.mpps,
+            versus(absorbed_gbps, paper),
+            h.sys.drop_count(),
+        );
+    }
+    println!();
+    println!("paper: 200 Gbps for 256-byte packets and above (§7.2).");
+}

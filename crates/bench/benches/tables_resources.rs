@@ -1,0 +1,87 @@
+//! Tables 1–4: FPGA resource utilization of the base 16-RPU and 8-RPU
+//! layouts, the Pigasus RPU, and the firewall RPU, from the calibrated
+//! parametric resource model (synthesis is not available in this
+//! reproduction; see DESIGN.md).
+
+use rosebud_accel::{Accelerator, FirewallMatcher, PigasusMatcher, Rule, RuleSet};
+use rosebud_apps::firewall::synthetic_blacklist;
+use rosebud_apps::rules::synthetic_rules;
+use rosebud_bench::heading;
+use rosebud_core::resources::{format_row, FrameworkResources, VU9P};
+use rosebud_core::{HashLb, LoadBalancer, RoundRobinLb};
+
+fn base_table(num_rpus: usize) {
+    heading(&format!(
+        "Table {}: base resource utilization, {num_rpus} RPUs",
+        if num_rpus == 16 { 1 } else { 2 }
+    ));
+    let r = FrameworkResources::new(num_rpus);
+    let lb = RoundRobinLb::new().resources(num_rpus);
+    let rpu = r.rpu_base();
+    let pr = r.pr_block_capacity();
+    let remaining_pr = rosebud_accel::ResourceUsage {
+        luts: pr.luts - rpu.luts,
+        regs: pr.regs - rpu.regs,
+        bram: pr.bram - rpu.bram,
+        uram: pr.uram - rpu.uram,
+        dsp: pr.dsp - rpu.dsp,
+    };
+    let lb_block = r.lb_block_capacity();
+    let remaining_lb = rosebud_accel::ResourceUsage {
+        luts: lb_block.luts - lb.luts,
+        regs: lb_block.regs - lb.regs,
+        bram: lb_block.bram - lb.bram,
+        uram: lb_block.uram - lb.uram,
+        dsp: lb_block.dsp - lb.dsp,
+    };
+    println!("{}", format_row("Single RPU", rpu));
+    println!("{}", format_row("Remaining (PR)", remaining_pr));
+    println!("{}", format_row("LB", lb));
+    println!("{}", format_row("Remaining", remaining_lb));
+    println!("{}", format_row("Single Interconnect", r.interconnect()));
+    println!("{}", format_row("CMAC", r.cmac()));
+    println!("{}", format_row("PCIe", r.pcie()));
+    println!("{}", format_row("Switching", r.switching()));
+    println!("{}", format_row("Complete design", r.complete(lb)));
+    println!("{}", format_row("VU9P device", VU9P));
+}
+
+fn pigasus_table() {
+    heading("Table 3: RPU utilization with Pigasus + hash LB (8-RPU layout)");
+    let r = FrameworkResources::new(8);
+    let (riscv, mem, mgr) = r.rpu_base_breakdown();
+    let rules: Vec<Rule> = synthetic_rules(64, 17);
+    let pigasus = PigasusMatcher::new(RuleSet::compile(rules), 16).resources();
+    let total = riscv.plus(mem).plus(mgr).plus(pigasus);
+    println!("{}", format_row("RISCV core", riscv));
+    println!("{}", format_row("Mem. subsystem", mem));
+    println!("{}", format_row("Accel. manager", mgr));
+    println!("{}", format_row("Pigasus", pigasus));
+    println!("{}", format_row("Total", total));
+    println!("{}", format_row("RPU (PR capacity)", r.pr_block_capacity()));
+    println!("{}", format_row("LB (hash)", HashLb::new().resources(8)));
+    println!(
+        "paper: Pigasus total 42364 LUTs = 66% of the 64161-LUT PR block; does NOT fit the 16-RPU layout."
+    );
+}
+
+fn firewall_table() {
+    heading("Table 4: RPU utilization with the firewall (16-RPU layout)");
+    let r = FrameworkResources::new(16);
+    let (riscv, mem, mgr) = r.rpu_base_breakdown();
+    let fw = FirewallMatcher::from_prefixes(&synthetic_blacklist(1050, 7)).resources();
+    let total = riscv.plus(mem).plus(mgr).plus(fw);
+    println!("{}", format_row("RISCV core", riscv));
+    println!("{}", format_row("Mem. subsystem", mem));
+    println!("{}", format_row("Accel. manager", mgr));
+    println!("{}", format_row("Firewall IP checker", fw));
+    println!("{}", format_row("Total", total));
+    println!("{}", format_row("RPU (PR capacity)", r.pr_block_capacity()));
+}
+
+fn main() {
+    base_table(16);
+    base_table(8);
+    pigasus_table();
+    firewall_table();
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the per-figure benchmark harnesses.
+//!
+//! Every table and figure in the paper's evaluation has a bench target in
+//! `benches/` that regenerates it against the simulator and prints the
+//! measured series next to the paper's reference values. Run them all with
+//! `cargo bench`, or one with e.g. `cargo bench --bench fig7_forwarding`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rosebud_core::{Harness, Measurement, Rosebud};
+use rosebud_net::TrafficGen;
+
+/// Packet sizes of the forwarding sweep (§6.1): powers of two 64–8192 plus
+/// the 65-byte worst case and the 1500/9000 MTU points.
+pub const FORWARDING_SIZES: &[usize] = &[
+    64, 65, 128, 256, 512, 1024, 1500, 2048, 4096, 8192, 9000,
+];
+
+/// Packet sizes of the IPS comparison (Fig. 8).
+pub const IPS_SIZES: &[usize] = &[64, 128, 256, 512, 800, 1024, 1500, 2048];
+
+/// Runs a warm-up then a measurement window and returns the window results.
+pub fn measure(
+    sys: Rosebud,
+    gen: Box<dyn TrafficGen>,
+    offered_gbps: f64,
+    warmup_cycles: u64,
+    window_cycles: u64,
+) -> (Measurement, Harness) {
+    let mut h = Harness::new(sys, gen, offered_gbps);
+    h.run(warmup_cycles);
+    h.begin_window();
+    h.run(window_cycles);
+    (h.measure(), h)
+}
+
+/// Prints a section header in the style the harnesses share.
+pub fn heading(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", "-".repeat(title.len() + 6));
+}
+
+/// Formats a measured-vs-paper pair with a deviation marker.
+pub fn versus(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:8.1}        (paper: n/a)");
+    }
+    let dev = (measured - paper) / paper * 100.0;
+    format!("{measured:8.1} vs {paper:8.1}  ({dev:+5.1}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versus_formats_deviation() {
+        let s = versus(110.0, 100.0);
+        assert!(s.contains("+10.0%"), "{s}");
+    }
+}

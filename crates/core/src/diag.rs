@@ -1,0 +1,248 @@
+//! Host-side bottleneck diagnosis from the framework's counters (§4.3):
+//! "They can shed light to how packets are going through the system, for
+//! instance how the LB is distributing packets. Therefore, they can reveal
+//! to the developer where the bottlenecks are located."
+
+use rosebud_kernel::Counters;
+
+use crate::system::Rosebud;
+
+/// Where the diagnosis believes the system is limited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Traffic is being absorbed without visible backpressure.
+    None,
+    /// MAC receive FIFOs are filling: the system behind the LB cannot keep
+    /// up with the offered load.
+    IngressFifo {
+        /// The most congested port.
+        port: usize,
+    },
+    /// The LB frequently has a head-of-line packet it cannot place: RPU
+    /// slots are the constraint (firmware too slow, or too few RPUs).
+    SlotStarvation,
+    /// One RPU carries a disproportionate share — the LB policy is
+    /// imbalanced for this workload (the hash-LB effect of §7.1.3).
+    Imbalance {
+        /// The overloaded RPU.
+        rpu: usize,
+    },
+    /// Firmware on some RPU is dropping or an RPU halted.
+    RpuFault {
+        /// The misbehaving RPU.
+        rpu: usize,
+    },
+}
+
+/// A point-in-time diagnostic snapshot.
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    /// Per-port interface counters.
+    pub ports: Vec<Counters>,
+    /// Per-port MAC receive-FIFO occupancy in bytes.
+    pub rx_fifo_bytes: Vec<u64>,
+    /// Per-RPU interface counters.
+    pub rpus: Vec<Counters>,
+    /// Per-RPU free slots as the LB sees them.
+    pub free_slots: Vec<usize>,
+    /// Cycles the LB spent unable to place a head-of-line packet.
+    pub lb_stall_cycles: u64,
+    /// Packets the LB has placed.
+    pub lb_assigned: u64,
+    /// The verdict.
+    pub bottleneck: Bottleneck,
+}
+
+impl Diagnostics {
+    /// Renders the report the way the paper's host utility prints its
+    /// status table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "LB: {} assigned, {} stall cycles", self.lb_assigned, self.lb_stall_cycles);
+        for (p, (c, fifo)) in self.ports.iter().zip(&self.rx_fifo_bytes).enumerate() {
+            let _ = writeln!(
+                out,
+                "port {p}: rx {} frames / tx {} frames / rx-fifo {} B",
+                c.rx_frames, c.tx_frames, fifo
+            );
+        }
+        for (r, (c, free)) in self.rpus.iter().zip(&self.free_slots).enumerate() {
+            let _ = writeln!(
+                out,
+                "RPU {r}: rx {} tx {} drops {} / {} free slots",
+                c.rx_frames, c.tx_frames, c.drops, free
+            );
+        }
+        let _ = writeln!(out, "bottleneck: {:?}", self.bottleneck);
+        out
+    }
+}
+
+impl Rosebud {
+    /// Takes a diagnostic snapshot and classifies the dominant bottleneck.
+    pub fn diagnostics(&self) -> Diagnostics {
+        let ports: Vec<Counters> = (0..self.cfg.num_ports).map(|p| self.port_counters(p)).collect();
+        let rx_fifo_bytes: Vec<u64> = (0..self.cfg.num_ports).map(|p| self.rx_fifo_bytes(p)).collect();
+        let rpus: Vec<Counters> = (0..self.cfg.num_rpus).map(|r| self.rpu_counters(r)).collect();
+        let free_slots: Vec<usize> = (0..self.cfg.num_rpus)
+            .map(|r| self.tracker().free_count(r))
+            .collect();
+
+        let bottleneck = self.classify(&ports, &rx_fifo_bytes, &rpus, &free_slots);
+        Diagnostics {
+            ports,
+            rx_fifo_bytes,
+            rpus,
+            free_slots,
+            lb_stall_cycles: self.lb_stall_cycles(),
+            lb_assigned: self.lb_assigned(),
+            bottleneck,
+        }
+    }
+
+    fn classify(
+        &self,
+        _ports: &[Counters],
+        rx_fifo_bytes: &[u64],
+        rpus: &[Counters],
+        free_slots: &[usize],
+    ) -> Bottleneck {
+        // A halted or drop-heavy RPU dominates any throughput symptom.
+        for (r, c) in rpus.iter().enumerate() {
+            if self.rpus()[r].is_halted() || c.drops > c.rx_frames / 10 + 8 {
+                return Bottleneck::RpuFault { rpu: r };
+            }
+        }
+        // Full ingress FIFO: something downstream cannot keep up.
+        if let Some((port, &bytes)) = rx_fifo_bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &b)| b)
+        {
+            if bytes * 2 >= self.cfg.mac_rx_fifo_bytes {
+                // Distinguish imbalance from global starvation by slot
+                // distribution: starvation empties every RPU's free pool;
+                // imbalance empties a few while others stay fresh.
+                let starved = free_slots.iter().filter(|&&f| f == 0).count();
+                let roomy = free_slots
+                    .iter()
+                    .filter(|&&f| f > self.cfg.slots_per_rpu / 2)
+                    .count();
+                if starved > 0 && roomy > 0 {
+                    let rpu = free_slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &f)| f)
+                        .map(|(r, _)| r)
+                        .unwrap_or(0);
+                    return Bottleneck::Imbalance { rpu };
+                }
+                if self.lb_stall_cycles() > 0 && starved > 0 {
+                    return Bottleneck::SlotStarvation;
+                }
+                return Bottleneck::IngressFifo { port };
+            }
+        }
+        Bottleneck::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lb::HashLb;
+    use crate::system::RpuProgram;
+    use crate::{Desc, Firmware, Harness, RosebudConfig, RpuIo};
+    use rosebud_net::FixedSizeGen;
+
+    struct PacedForwarder {
+        cycles: u64,
+    }
+    impl Firmware for PacedForwarder {
+        fn tick(&mut self, io: &mut RpuIo<'_>) {
+            if let Some(desc) = io.rx_pop() {
+                io.charge(self.cycles);
+                io.send(Desc { port: desc.port ^ 1, ..desc });
+            }
+        }
+    }
+
+    fn system(rpus: usize, fw_cycles: u64, lb: Box<dyn crate::LoadBalancer>) -> Rosebud {
+        Rosebud::builder(RosebudConfig::with_rpus(rpus))
+            .load_balancer(lb)
+            .firmware(move |_| RpuProgram::Native(Box::new(PacedForwarder { cycles: fw_cycles })))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_system_reports_no_bottleneck() {
+        let sys = system(8, 15, Box::new(crate::RoundRobinLb::new()));
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(512, 2)), 20.0);
+        h.run(30_000);
+        let diag = h.sys.diagnostics();
+        assert_eq!(diag.bottleneck, Bottleneck::None, "{}", diag.render());
+    }
+
+    #[test]
+    fn slow_firmware_shows_slot_starvation_or_full_fifo() {
+        // 400 cycles/packet on 4 RPUs ≈ 2.5 Mpps against a 60 Gbps offered
+        // load of 256 B frames (≈29 Mpps): the FIFOs must fill.
+        let sys = system(4, 400, Box::new(crate::RoundRobinLb::new()));
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 60.0);
+        h.run(120_000);
+        let diag = h.sys.diagnostics();
+        assert!(
+            matches!(
+                diag.bottleneck,
+                Bottleneck::SlotStarvation | Bottleneck::IngressFifo { .. }
+            ),
+            "{}",
+            diag.render()
+        );
+    }
+
+    #[test]
+    fn halted_rpu_reported_as_fault() {
+        let sys = system(4, 10, Box::new(crate::RoundRobinLb::new()));
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 10.0);
+        h.run(5_000);
+        // Simulate a crash: halt RPU 2 via a firmware fault stand-in — load
+        // an image that faults immediately.
+        let bad = rosebud_riscv::assemble(".word 0xffffffff").unwrap();
+        h.sys.load_rpu_firmware(2, &bad);
+        h.run(5_000);
+        let diag = h.sys.diagnostics();
+        assert_eq!(
+            diag.bottleneck,
+            Bottleneck::RpuFault { rpu: 2 },
+            "{}",
+            diag.render()
+        );
+    }
+
+    #[test]
+    fn single_flow_on_hash_lb_reports_imbalance() {
+        // One elephant flow pins everything to one RPU whose firmware is
+        // slower than the offered rate: its slots starve while others idle.
+        let sys = system(8, 200, Box::new(HashLb::new()));
+        let gen = FixedSizeGen::new(512, 2).with_flows(1);
+        let mut h = Harness::new(sys, Box::new(gen), 60.0);
+        h.run(150_000);
+        let diag = h.sys.diagnostics();
+        assert!(
+            matches!(diag.bottleneck, Bottleneck::Imbalance { .. }),
+            "{}",
+            diag.render()
+        );
+    }
+
+    #[test]
+    fn render_is_humane() {
+        let sys = system(2, 10, Box::new(crate::RoundRobinLb::new()));
+        let text = sys.diagnostics().render();
+        assert!(text.contains("RPU 0"));
+        assert!(text.contains("bottleneck"));
+    }
+}

@@ -1,0 +1,1192 @@
+//! The Reconfigurable Packet-processing Unit (paper §3.1, §4.1).
+//!
+//! An RPU is a RISC-V core plus custom accelerators inside a partially
+//! reconfigurable FPGA block, glued by a tailored memory subsystem:
+//!
+//! * small single-cycle BRAM instruction/data memories dedicated to the core,
+//! * a large URAM packet memory shared between the core (one arbitrated
+//!   port, core priority) and the accelerators (one exclusive port),
+//! * a DMA engine that copies arriving packets into packet memory and their
+//!   headers into the core's low-latency data memory,
+//! * an interconnect delivering descriptors and carrying control traffic.
+//!
+//! Firmware runs either on the full RV32IM instruction-set simulator (the
+//! `RiscvFirmware` path — real assembled firmware, cycle-accurate) or as
+//! *native firmware*: Rust handlers performing the identical architectural
+//! actions while charging an explicit cycle cost (used for the Pigasus case
+//! study, whose C firmware the paper characterizes in cycles per packet,
+//! Fig. 9).
+
+use rosebud_accel::Accelerator;
+use rosebud_kernel::{Counters, Fifo};
+use rosebud_riscv::{AccessSize, Bus, BusFault, BusValue, Cpu, Image, StepResult};
+
+use crate::config::RosebudConfig;
+use crate::types::memmap::{self, io};
+use crate::types::{BcastMsg, Desc, SlotMeta};
+
+/// Wait-states the core pays for each shared-packet-memory access: URAMs are
+/// "larger, higher-latency memories" (§4.1) compared to the single-cycle
+/// BRAM next to the core.
+const PMEM_WAIT_CYCLES: u32 = 1;
+
+/// Native firmware: packet-processing logic with explicit cycle accounting.
+///
+/// Implementations perform the same architectural actions as firmware on the
+/// instruction-set simulator — read descriptors, poke accelerator registers,
+/// send packets — and charge their software cost with [`RpuIo::charge`].
+pub trait Firmware: Send {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str {
+        "firmware"
+    }
+
+    /// Runs once when the RPU boots (slot setup, mask configuration).
+    fn boot(&mut self, io: &mut RpuIo<'_>) {
+        let _ = io;
+    }
+
+    /// Runs every cycle the core is not stalled on previously charged work.
+    fn tick(&mut self, io: &mut RpuIo<'_>);
+
+    /// Delivery of an (unmasked) interrupt line.
+    fn interrupt(&mut self, line: u8, io: &mut RpuIo<'_>) {
+        let _ = (line, io);
+    }
+
+    /// `true` when no packet is mid-processing — the eviction drain check
+    /// before partial reconfiguration (Appendix A.8).
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+/// The core running inside an RPU.
+enum Engine {
+    /// Nothing loaded; the RPU discards traffic (it should not receive any —
+    /// the LB is told to skip unbooted RPUs).
+    Empty,
+    /// The RV32IM instruction-set simulator.
+    Riscv(Box<Cpu>),
+    /// Native firmware with explicit cycle accounting.
+    Native(Box<dyn Firmware>),
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Empty => f.write_str("Empty"),
+            Engine::Riscv(_) => f.write_str("Riscv"),
+            Engine::Native(fw) => write!(f, "Native({})", fw.name()),
+        }
+    }
+}
+
+/// Lifecycle state of the partially reconfigurable region (§4.1, A.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpuState {
+    /// Processing packets.
+    Running,
+    /// LB stopped sending; waiting for in-flight packets to drain.
+    Draining,
+    /// The PR bitstream is being written; the region is inert.
+    Reconfiguring {
+        /// Cycle at which the reconfiguration completes.
+        until: u64,
+    },
+    /// Halted (ebreak / fault / never booted).
+    Stopped,
+}
+
+/// Memory, queues, and interconnect registers of one RPU — everything both
+/// firmware kinds talk to.
+pub struct RpuInner {
+    id: usize,
+    imem: Vec<u8>,
+    dmem: Vec<u8>,
+    pmem: Vec<u8>,
+    bcast_mirror: Vec<u8>,
+    accel: Option<Box<dyn Accelerator>>,
+    rx_queue: Fifo<Desc>,
+    tx_queue: Fifo<Desc>,
+    slot_meta: Vec<Option<SlotMeta>>,
+    status: u32,
+    debug_out: Option<u64>,
+    debug_out_staged: u32,
+    debug_in: u64,
+    masks: u32,
+    bcast_irq_mask: u32,
+    bcast_out: Fifo<BcastMsg>,
+    bcast_hw_depth: usize,
+    bcast_notify: Fifo<u32>,
+    /// Raised-but-undelivered interrupt lines for native firmware.
+    native_irqs: u32,
+    now: u64,
+    /// One-shot watchdog deadline; 0 = disarmed (§3.4 hang detection).
+    timer_deadline: u64,
+    /// Staged host-DMA registers and the committed request.
+    dma_host_addr: u32,
+    dma_local_addr: u32,
+    dma_len: u32,
+    dma_pending: Option<crate::types::HostDmaReq>,
+    dma_busy: bool,
+    num_rpus: usize,
+    slot_bytes: u32,
+    slots: usize,
+    counters: Counters,
+    send_staged_lo: u32,
+    header_slot_bytes: u32,
+}
+
+impl std::fmt::Debug for RpuInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpuInner")
+            .field("id", &self.id)
+            .field("rx_queue", &self.rx_queue.len())
+            .field("tx_queue", &self.tx_queue.len())
+            .field("status", &self.status)
+            .finish()
+    }
+}
+
+impl RpuInner {
+    fn new(id: usize, cfg: &RosebudConfig) -> Self {
+        Self {
+            id,
+            imem: vec![0; cfg.imem_bytes as usize],
+            dmem: vec![0; cfg.dmem_bytes as usize],
+            pmem: vec![0; cfg.pmem_bytes as usize],
+            bcast_mirror: vec![0; memmap::BCAST_BYTES as usize],
+            accel: None,
+            rx_queue: Fifo::new(cfg.slots_per_rpu.max(1)),
+            tx_queue: Fifo::new(cfg.slots_per_rpu.max(4)),
+            slot_meta: vec![None; cfg.slots_per_rpu],
+            status: 0,
+            debug_out: None,
+            debug_out_staged: 0,
+            debug_in: 0,
+            masks: 0,
+            bcast_irq_mask: u32::MAX,
+            bcast_out: Fifo::new(cfg.bcast_fifo_depth * 4),
+            bcast_hw_depth: cfg.bcast_fifo_depth,
+            bcast_notify: Fifo::new(64),
+            native_irqs: 0,
+            now: 0,
+            timer_deadline: 0,
+            dma_host_addr: 0,
+            dma_local_addr: 0,
+            dma_len: 0,
+            dma_pending: None,
+            dma_busy: false,
+            num_rpus: cfg.num_rpus,
+            slot_bytes: cfg.slot_bytes,
+            slots: cfg.slots_per_rpu,
+            counters: Counters::default(),
+            send_staged_lo: 0,
+            header_slot_bytes: 128,
+        }
+    }
+
+    /// Packet-memory address of `slot`'s buffer. Slots occupy the upper
+    /// region of packet memory, like the firmware's `PKTS_START` layout
+    /// (Appendix B).
+    pub fn slot_addr(&self, slot: u8) -> u32 {
+        let region = self.pmem.len() as u32 - self.slots as u32 * self.slot_bytes;
+        memmap::PMEM_BASE + region + u32::from(slot) * self.slot_bytes
+    }
+
+    /// Data-memory address of `slot`'s low-latency header copy.
+    pub fn header_slot_addr(&self, slot: u8) -> u32 {
+        memmap::DMEM_BASE + (self.dmem.len() as u32 / 2) + u32::from(slot) * self.header_slot_bytes
+    }
+
+    fn io_read(&mut self, offset: u32) -> u32 {
+        match offset {
+            io::RECV_READY => u32::from(!self.rx_queue.is_empty()),
+            io::RECV_DESC_LO => self.rx_queue.front().map_or(0, Desc::pack_lo),
+            io::RECV_DESC_DATA => self.rx_queue.front().map_or(0, |d| d.data),
+            io::STATUS => self.status,
+            io::TIMER_L => self.now as u32,
+            io::TIMER_H => (self.now >> 32) as u32,
+            io::HOST_IN_L => self.debug_in as u32,
+            io::HOST_IN_H => (self.debug_in >> 32) as u32,
+            io::BCAST_NOTIFY => self.bcast_notify.pop().unwrap_or(u32::MAX),
+            io::BCAST_FREE => self.bcast_out.free() as u32,
+            io::DMA_STATUS => u32::from(self.dma_busy || self.dma_pending.is_some()),
+            _ => 0,
+        }
+    }
+
+    fn io_write(&mut self, offset: u32, value: u32) {
+        match offset {
+            io::RECV_RELEASE => {
+                let _ = self.rx_queue.pop();
+            }
+            io::SEND_DESC_LO => self.send_staged_lo = value,
+            io::SEND_DESC_DATA => {
+                let desc = Desc::from_words(self.send_staged_lo, value);
+                if self.tx_queue.push(desc).is_err() {
+                    // Backpressure: hardware would stall the store; account
+                    // it as a stall and drop — firmware written against this
+                    // model checks queue space via counters.
+                    self.counters.count_stall(1);
+                    self.counters.count_drop();
+                }
+            }
+            io::STATUS => self.status = value,
+            io::DEBUG_OUT_L => self.debug_out_staged = value,
+            io::DEBUG_OUT_H => {
+                self.debug_out = Some(u64::from(value) << 32 | u64::from(self.debug_out_staged));
+            }
+            io::MASKS => self.masks = value,
+            io::TIMER_CMP => {
+                self.timer_deadline = if value == 0 {
+                    0
+                } else {
+                    self.now + u64::from(value)
+                };
+            }
+            io::DMA_HOST_ADDR => self.dma_host_addr = value,
+            io::DMA_LOCAL_ADDR => self.dma_local_addr = value,
+            io::DMA_LEN => self.dma_len = value,
+            io::DMA_CTRL
+                if (value == 1 || value == 2) => {
+                    self.dma_pending = Some(crate::types::HostDmaReq {
+                        host_addr: self.dma_host_addr,
+                        local_addr: self.dma_local_addr,
+                        len: self.dma_len,
+                        to_host: value == 1,
+                    });
+                    self.dma_busy = true;
+                }
+            _ => {}
+        }
+    }
+
+    /// Writes a word into the broadcast outbox, returning the cycles the
+    /// writing core blocks. "A write to the broadcast memory region will be
+    /// blocked until there is room in the FIFO" (§6.3): the 18-entry FIFO
+    /// (16 + 2 PR border registers) drains one entry per round-robin grant,
+    /// i.e. every `num_rpus` cycles, so each entry beyond the hardware depth
+    /// costs the writer one full grant period.
+    fn bcast_write(&mut self, offset: u32, value: u32) -> u32 {
+        let msg = BcastMsg {
+            from: self.id,
+            offset,
+            value,
+            sent_at: self.now,
+        };
+        let word = offset as usize & !3;
+        self.bcast_mirror[word..word + 4].copy_from_slice(&value.to_le_bytes());
+        if self.bcast_out.push(msg).is_err() {
+            // The backing queue is sized 4× the hardware depth; hitting its
+            // end means the writer mis-modelled its stalls. Account a drop.
+            self.counters.count_drop();
+            return self.num_rpus as u32;
+        }
+        let over = self.bcast_out.len().saturating_sub(self.bcast_hw_depth);
+        let wait = (over as u32) * self.num_rpus as u32;
+        if wait > 0 {
+            self.counters.count_stall(u64::from(wait));
+        }
+        wait
+    }
+
+    /// Delivery of a broadcast message (all RPUs simultaneously, §4.4).
+    pub(crate) fn deliver_bcast(&mut self, msg: &BcastMsg) -> bool {
+        let word = msg.offset as usize & !3;
+        if word + 4 > self.bcast_mirror.len() {
+            return false;
+        }
+        self.bcast_mirror[word..word + 4].copy_from_slice(&msg.value.to_le_bytes());
+        let _ = self.bcast_notify.push(msg.offset);
+        // Interrupt only if the target word is unmasked.
+        let bit = (msg.offset >> 2) & 31;
+        self.bcast_irq_mask & (1 << bit) != 0
+    }
+
+    pub(crate) fn pop_bcast(&mut self) -> Option<BcastMsg> {
+        self.bcast_out.pop()
+    }
+
+    pub(crate) fn take_dma_req(&mut self) -> Option<crate::types::HostDmaReq> {
+        self.dma_pending.take()
+    }
+
+    pub(crate) fn dma_complete(&mut self) {
+        self.dma_busy = false;
+    }
+
+    /// Copies out of packet memory by absolute address (DMA engine path).
+    pub(crate) fn pmem_copy_out(&self, addr: u32, len: u32) -> Vec<u8> {
+        let at = addr.saturating_sub(memmap::PMEM_BASE) as usize;
+        let end = (at + len as usize).min(self.pmem.len());
+        self.pmem[at.min(self.pmem.len())..end].to_vec()
+    }
+
+    /// Copies into packet memory by absolute address (DMA engine path).
+    pub(crate) fn pmem_copy_in(&mut self, addr: u32, bytes: &[u8]) {
+        let at = addr.saturating_sub(memmap::PMEM_BASE) as usize;
+        let end = (at + bytes.len()).min(self.pmem.len());
+        if at < end {
+            self.pmem[at..end].copy_from_slice(&bytes[..end - at]);
+        }
+    }
+
+    /// `true` when the one-shot watchdog expired this cycle; re-arms to 0.
+    pub(crate) fn watchdog_fired(&mut self) -> bool {
+        if self.timer_deadline != 0 && self.now >= self.timer_deadline {
+            self.timer_deadline = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// DMA an arriving packet into `slot`: payload into packet memory, the
+    /// first 128 bytes into the data-memory header slot (§4.1).
+    pub(crate) fn dma_deliver(&mut self, slot: u8, bytes: &[u8], meta: SlotMeta) -> bool {
+        let addr = (self.slot_addr(slot) - memmap::PMEM_BASE) as usize;
+        let len = bytes.len().min(self.slot_bytes as usize);
+        if self.rx_queue.is_full() {
+            self.counters.count_drop();
+            return false;
+        }
+        self.pmem[addr..addr + len].copy_from_slice(&bytes[..len]);
+        let header_at = (self.header_slot_addr(slot) - memmap::DMEM_BASE) as usize;
+        let header_len = len.min(self.header_slot_bytes as usize);
+        self.dmem[header_at..header_at + header_len].copy_from_slice(&bytes[..header_len]);
+        self.slot_meta[slot as usize] = Some(meta);
+        self.counters.count_rx_frame(len as u64);
+        let desc = Desc {
+            tag: slot,
+            len: len as u32,
+            port: meta.ingress_port,
+            data: self.slot_addr(slot),
+        };
+        self.rx_queue
+            .push(desc)
+            .expect("rx_queue fullness checked above");
+        true
+    }
+
+    /// Pops a committed send: the descriptor, the frame bytes read back from
+    /// packet memory, and the slot's metadata.
+    pub(crate) fn take_tx(&mut self) -> Option<(Desc, Vec<u8>, Option<SlotMeta>)> {
+        let desc = self.tx_queue.pop()?;
+        let meta = if desc.tag == crate::types::SELF_TAG {
+            None
+        } else {
+            self.slot_meta.get(desc.tag as usize).copied().flatten()
+        };
+        if desc.tag != crate::types::SELF_TAG {
+            if let Some(slot) = self.slot_meta.get_mut(desc.tag as usize) {
+                *slot = None;
+            }
+        }
+        let bytes = if desc.len == 0 {
+            Vec::new()
+        } else {
+            let at = desc.data.checked_sub(memmap::PMEM_BASE).map(|a| a as usize);
+            match at {
+                Some(at) if at + desc.len as usize <= self.pmem.len() => {
+                    self.pmem[at..at + desc.len as usize].to_vec()
+                }
+                _ => Vec::new(),
+            }
+        };
+        if !bytes.is_empty() {
+            self.counters.count_tx_frame(bytes.len() as u64);
+        } else {
+            self.counters.count_drop();
+        }
+        Some((desc, bytes, meta))
+    }
+
+    /// Host/interconnect counters for this RPU (§4.3).
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// The host-visible status register (§3.4).
+    pub fn status(&self) -> u32 {
+        self.status
+    }
+
+    /// Takes the most recent firmware-written 64-bit debug value, if any.
+    pub fn take_debug_out(&mut self) -> Option<u64> {
+        self.debug_out.take()
+    }
+
+    /// Sets the host→RPU half of the debug channel.
+    pub fn set_debug_in(&mut self, value: u64) {
+        self.debug_in = value;
+    }
+
+    /// Host-initiated store through the same address decode the core uses
+    /// (memory loads before boot, debug pokes, Appendix A.6).
+    pub(crate) fn host_store(
+        &mut self,
+        addr: u32,
+        value: u32,
+        size: AccessSize,
+    ) -> Result<u32, BusFault> {
+        self.store(addr, value, size)
+    }
+
+    /// Raw packet memory (host debugging reads the whole RPU memory, §3.4).
+    pub fn pmem(&self) -> &[u8] {
+        &self.pmem
+    }
+
+    /// Raw data memory.
+    pub fn dmem(&self) -> &[u8] {
+        &self.dmem
+    }
+
+    /// The broadcast-region mirror as this RPU sees it.
+    pub fn bcast_mirror(&self) -> &[u8] {
+        &self.bcast_mirror
+    }
+
+    fn load(&mut self, addr: u32, size: AccessSize) -> Result<BusValue, BusFault> {
+        let n = size.bytes() as usize;
+        let read_from = |mem: &[u8], off: u32| -> Result<u32, BusFault> {
+            let off = off as usize;
+            if off + n > mem.len() {
+                return Err(BusFault {
+                    addr,
+                    is_store: false,
+                });
+            }
+            let mut bytes = [0u8; 4];
+            bytes[..n].copy_from_slice(&mem[off..off + n]);
+            Ok(u32::from_le_bytes(bytes))
+        };
+        match addr {
+            a if (memmap::BCAST_BASE..memmap::BCAST_BASE + memmap::BCAST_BYTES).contains(&a) => {
+                Ok(BusValue::fast(read_from(&self.bcast_mirror, a - memmap::BCAST_BASE)?))
+            }
+            a if a >= memmap::IO_EXT_BASE => {
+                let r = match &mut self.accel {
+                    Some(accel) => accel.read_reg(a - memmap::IO_EXT_BASE),
+                    None => rosebud_accel::RegRead::fast(0),
+                };
+                Ok(BusValue {
+                    value: r.value,
+                    wait_cycles: r.wait_cycles,
+                })
+            }
+            a if a >= memmap::IO_BASE => Ok(BusValue::fast(self.io_read(a - memmap::IO_BASE))),
+            a if a >= memmap::PMEM_BASE => Ok(BusValue {
+                value: read_from(&self.pmem, a - memmap::PMEM_BASE)?,
+                wait_cycles: PMEM_WAIT_CYCLES,
+            }),
+            a if a >= memmap::DMEM_BASE => {
+                Ok(BusValue::fast(read_from(&self.dmem, a - memmap::DMEM_BASE)?))
+            }
+            a => Ok(BusValue::fast(read_from(&self.imem, a)?)),
+        }
+    }
+
+    fn store(&mut self, addr: u32, value: u32, size: AccessSize) -> Result<u32, BusFault> {
+        let n = size.bytes() as usize;
+        let bytes = value.to_le_bytes();
+        match addr {
+            a if (memmap::BCAST_BASE..memmap::BCAST_BASE + memmap::BCAST_BYTES).contains(&a) => {
+                Ok(self.bcast_write(a - memmap::BCAST_BASE, value))
+            }
+            a if a >= memmap::IO_EXT_BASE => {
+                if let Some(accel) = &mut self.accel {
+                    accel.write_reg(a - memmap::IO_EXT_BASE, value);
+                }
+                Ok(0)
+            }
+            a if a >= memmap::IO_BASE => {
+                self.io_write(a - memmap::IO_BASE, value);
+                Ok(0)
+            }
+            a if a >= memmap::PMEM_BASE => {
+                let off = (a - memmap::PMEM_BASE) as usize;
+                if off + n > self.pmem.len() {
+                    return Err(BusFault {
+                        addr,
+                        is_store: true,
+                    });
+                }
+                self.pmem[off..off + n].copy_from_slice(&bytes[..n]);
+                Ok(PMEM_WAIT_CYCLES)
+            }
+            a if a >= memmap::DMEM_BASE => {
+                let off = (a - memmap::DMEM_BASE) as usize;
+                if off + n > self.dmem.len() {
+                    return Err(BusFault {
+                        addr,
+                        is_store: true,
+                    });
+                }
+                self.dmem[off..off + n].copy_from_slice(&bytes[..n]);
+                Ok(0)
+            }
+            a => {
+                // Stores to instruction memory are allowed (the DMA engine
+                // loads firmware this way) but unusual from the core.
+                let off = a as usize;
+                if off + n > self.imem.len() {
+                    return Err(BusFault {
+                        addr,
+                        is_store: true,
+                    });
+                }
+                self.imem[off..off + n].copy_from_slice(&bytes[..n]);
+                Ok(0)
+            }
+        }
+    }
+}
+
+struct InnerBus<'a>(&'a mut RpuInner);
+
+impl Bus for InnerBus<'_> {
+    fn load(&mut self, addr: u32, size: AccessSize) -> Result<BusValue, BusFault> {
+        self.0.load(addr, size)
+    }
+
+    fn store(&mut self, addr: u32, value: u32, size: AccessSize) -> Result<u32, BusFault> {
+        self.0.store(addr, value, size)
+    }
+}
+
+/// The I/O surface native firmware programs against: the same interconnect
+/// and accelerator interfaces the assembled firmware reaches through MMIO,
+/// plus explicit cycle charging.
+pub struct RpuIo<'a> {
+    inner: &'a mut RpuInner,
+    stall: &'a mut u64,
+}
+
+impl RpuIo<'_> {
+    /// This RPU's index.
+    pub fn rpu_id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// Current cycle (all RPU timers are synchronized, §6.2).
+    pub fn now(&self) -> u64 {
+        self.inner.now
+    }
+
+    /// Charges `cycles` of software execution time.
+    pub fn charge(&mut self, cycles: u64) {
+        *self.stall += cycles;
+    }
+
+    /// `true` when a received descriptor is pending (`in_pkt_ready()`).
+    pub fn rx_ready(&self) -> bool {
+        !self.inner.rx_queue.is_empty()
+    }
+
+    /// The pending descriptor, without consuming it.
+    pub fn rx_peek(&self) -> Option<Desc> {
+        self.inner.rx_queue.front().copied()
+    }
+
+    /// Consumes the pending descriptor (`RECV_DESC_RELEASE = 1`).
+    pub fn rx_pop(&mut self) -> Option<Desc> {
+        self.inner.rx_queue.pop()
+    }
+
+    /// Sends a descriptor out (`pkt_send`). Returns `false` on egress-queue
+    /// backpressure.
+    pub fn send(&mut self, desc: Desc) -> bool {
+        self.inner.tx_queue.push(desc).is_ok()
+    }
+
+    /// Reads an accelerator register, charging any wait-states.
+    pub fn accel_read(&mut self, offset: u32) -> u32 {
+        match &mut self.inner.accel {
+            Some(accel) => {
+                let r = accel.read_reg(offset);
+                *self.stall += u64::from(r.wait_cycles);
+                r.value
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes an accelerator register.
+    pub fn accel_write(&mut self, offset: u32, value: u32) {
+        if let Some(accel) = &mut self.inner.accel {
+            accel.write_reg(offset, value);
+        }
+    }
+
+    /// Read-only view of packet memory.
+    pub fn pmem(&self) -> &[u8] {
+        &self.inner.pmem
+    }
+
+    /// Reads `len` bytes at packet-memory address `addr` (absolute, i.e.
+    /// `PMEM_BASE`-relative addresses as they appear in descriptors).
+    pub fn pmem_read(&self, addr: u32, len: usize) -> &[u8] {
+        let at = (addr - memmap::PMEM_BASE) as usize;
+        &self.inner.pmem[at..(at + len).min(self.inner.pmem.len())]
+    }
+
+    /// Writes bytes at packet-memory address `addr`.
+    pub fn pmem_write(&mut self, addr: u32, bytes: &[u8]) {
+        let at = (addr - memmap::PMEM_BASE) as usize;
+        let end = (at + bytes.len()).min(self.inner.pmem.len());
+        self.inner.pmem[at..end].copy_from_slice(&bytes[..end - at]);
+    }
+
+    /// The low-latency header copy the DMA engine placed for `slot`.
+    pub fn header(&self, slot: u8) -> &[u8] {
+        let at = (self.inner.header_slot_addr(slot) - memmap::DMEM_BASE) as usize;
+        &self.inner.dmem[at..at + self.inner.header_slot_bytes as usize]
+    }
+
+    /// Packet-memory address of `slot`.
+    pub fn slot_addr(&self, slot: u8) -> u32 {
+        self.inner.slot_addr(slot)
+    }
+
+    /// Sets the host-visible status register (§3.4 breakpoints).
+    pub fn set_status(&mut self, value: u32) {
+        self.inner.status = value;
+    }
+
+    /// Writes the 64-bit debug channel to the host.
+    pub fn debug_out(&mut self, value: u64) {
+        self.inner.debug_out = Some(value);
+    }
+
+    /// Reads the 64-bit debug channel from the host.
+    pub fn debug_in(&self) -> u64 {
+        self.inner.debug_in
+    }
+
+    /// Sets the interrupt mask register (`set_masks`).
+    pub fn set_masks(&mut self, masks: u32) {
+        self.inner.masks = masks;
+    }
+
+    /// Writes a word into the semi-coherent broadcast region; it propagates
+    /// to every RPU (§4.4). Charges blocking wait when the outbox is full.
+    pub fn broadcast(&mut self, offset: u32, value: u32) {
+        let wait = self.inner.bcast_write(offset, value);
+        *self.stall += u64::from(wait);
+    }
+
+    /// Pops the oldest broadcast-delivery notification: the region offset
+    /// and the delivered word.
+    pub fn bcast_poll(&mut self) -> Option<(u32, u32)> {
+        let offset = self.inner.bcast_notify.pop()?;
+        let word = offset as usize & !3;
+        let value = u32::from_le_bytes(
+            self.inner.bcast_mirror[word..word + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        Some((offset, value))
+    }
+
+    /// Reads a word from this RPU's broadcast mirror.
+    pub fn bcast_read(&self, offset: u32) -> u32 {
+        let word = offset as usize & !3;
+        u32::from_le_bytes(
+            self.inner.bcast_mirror[word..word + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        )
+    }
+
+    /// Arms the one-shot watchdog timer: the timer interrupt fires after
+    /// `cycles` (§3.4 hang detection). 0 disarms.
+    pub fn arm_watchdog(&mut self, cycles: u32) {
+        self.inner.io_write(io::TIMER_CMP, cycles);
+    }
+
+    /// Starts a DMA of `len` bytes from packet memory (`local_addr`,
+    /// absolute) into host DRAM at `host_addr` — the A.8 "save the desired
+    /// state to the host" path. Completion raises the DMA interrupt.
+    pub fn host_dma_write(&mut self, host_addr: u32, local_addr: u32, len: u32) {
+        self.inner.io_write(io::DMA_HOST_ADDR, host_addr);
+        self.inner.io_write(io::DMA_LOCAL_ADDR, local_addr);
+        self.inner.io_write(io::DMA_LEN, len);
+        self.inner.io_write(io::DMA_CTRL, 1);
+    }
+
+    /// Starts a DMA of `len` bytes from host DRAM into packet memory —
+    /// runtime table loads and post-PR state restore (A.8).
+    pub fn host_dma_read(&mut self, host_addr: u32, local_addr: u32, len: u32) {
+        self.inner.io_write(io::DMA_HOST_ADDR, host_addr);
+        self.inner.io_write(io::DMA_LOCAL_ADDR, local_addr);
+        self.inner.io_write(io::DMA_LEN, len);
+        self.inner.io_write(io::DMA_CTRL, 2);
+    }
+
+    /// `true` while a host DMA is in flight.
+    pub fn host_dma_busy(&self) -> bool {
+        self.inner.dma_busy || self.inner.dma_pending.is_some()
+    }
+}
+
+/// One RPU: memories + core + accelerator + partial-reconfiguration state.
+pub struct Rpu {
+    inner: RpuInner,
+    engine: Engine,
+    stall: u64,
+    state: RpuState,
+    /// Firmware cycles spent and packets handled (Fig. 9 accounting).
+    sw_cycles: u64,
+    pub(crate) boot_image: Option<Image>,
+}
+
+impl std::fmt::Debug for Rpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rpu")
+            .field("id", &self.inner.id)
+            .field("state", &self.state)
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl Rpu {
+    pub(crate) fn new(id: usize, cfg: &RosebudConfig) -> Self {
+        Self {
+            inner: RpuInner::new(id, cfg),
+            engine: Engine::Empty,
+            stall: 0,
+            state: RpuState::Stopped,
+            sw_cycles: 0,
+            boot_image: None,
+        }
+    }
+
+    /// This RPU's index.
+    pub fn id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// The PR/lifecycle state.
+    pub fn state(&self) -> RpuState {
+        self.state
+    }
+
+    /// Access to memories, queues and registers.
+    pub fn inner(&self) -> &RpuInner {
+        &self.inner
+    }
+
+    pub(crate) fn inner_mut(&mut self) -> &mut RpuInner {
+        &mut self.inner
+    }
+
+    /// Installs an accelerator into the PR region.
+    pub fn set_accelerator(&mut self, accel: Box<dyn Accelerator>) {
+        self.inner.accel = Some(accel);
+    }
+
+    /// The installed accelerator, if any.
+    pub fn accelerator(&self) -> Option<&dyn Accelerator> {
+        self.inner.accel.as_deref()
+    }
+
+    /// Mutable access to the installed accelerator (host-side table loads).
+    pub fn accelerator_mut(&mut self) -> Option<&mut (dyn Accelerator + '_)> {
+        match &mut self.inner.accel {
+            Some(b) => Some(&mut **b),
+            None => None,
+        }
+    }
+
+    /// Loads an assembled firmware image into instruction memory and boots
+    /// the RV32 core at the image base.
+    pub fn load_riscv(&mut self, image: &Image) {
+        let bytes = image.bytes();
+        let base = image.base() as usize;
+        self.inner.imem[base..base + bytes.len()].copy_from_slice(&bytes);
+        self.boot_image = Some(image.clone());
+        let mut cpu = Box::new(Cpu::new(image.base()));
+        cpu.raise_irq(31); // reserved line kept clear; ensures mip plumbed
+        cpu.clear_irq(31);
+        self.engine = Engine::Riscv(cpu);
+        self.state = RpuState::Running;
+    }
+
+    /// Installs native firmware and runs its boot hook.
+    pub fn load_native(&mut self, mut firmware: Box<dyn Firmware>) {
+        let mut io = RpuIo {
+            inner: &mut self.inner,
+            stall: &mut self.stall,
+        };
+        firmware.boot(&mut io);
+        self.engine = Engine::Native(firmware);
+        self.state = RpuState::Running;
+    }
+
+    /// Raises interrupt `line`, subject to the firmware's mask register.
+    pub fn raise_irq(&mut self, line: u8) {
+        if self.inner.masks & (1 << line) == 0 && line >= 4 {
+            return; // evict/poke respect set_masks (Appendix B/C)
+        }
+        match &mut self.engine {
+            Engine::Riscv(cpu) => cpu.raise_irq(line),
+            Engine::Native(_) => self.inner.native_irqs |= 1 << line,
+            Engine::Empty => {}
+        }
+    }
+
+    /// Begins the drain phase before partial reconfiguration: the system has
+    /// already told the LB to stop sending here; the RPU finishes in-flight
+    /// work. Also raises the eviction interrupt (A.8).
+    pub fn start_drain(&mut self) {
+        self.state = RpuState::Draining;
+        self.raise_irq(crate::types::irq::EVICT);
+    }
+
+    /// `true` when all queues are empty and the accelerator is idle.
+    pub fn is_drained(&self) -> bool {
+        let fw_idle = match &self.engine {
+            Engine::Native(fw) => fw.is_idle(),
+            Engine::Riscv(_) => true, // assembled firmware drains its slots
+            Engine::Empty => true,
+        };
+        self.inner.rx_queue.is_empty()
+            && self.inner.tx_queue.is_empty()
+            && fw_idle
+            && self.inner.accel.as_ref().is_none_or(|a| !a.is_busy())
+    }
+
+    /// Enters the reconfiguring state until cycle `until`; the region is
+    /// inert and the old engine is discarded.
+    pub fn begin_reconfigure(&mut self, until: u64) {
+        self.state = RpuState::Reconfiguring { until };
+        self.engine = Engine::Empty;
+        self.stall = 0;
+        if let Some(accel) = &mut self.inner.accel {
+            accel.reset();
+        }
+    }
+
+    /// Total firmware cycles consumed (for cycles-per-packet accounting).
+    pub fn sw_cycles(&self) -> u64 {
+        self.sw_cycles
+    }
+
+    /// Whether the core halted on `ebreak` or a fault.
+    pub fn is_halted(&self) -> bool {
+        match &self.engine {
+            Engine::Riscv(cpu) => cpu.is_halted(),
+            _ => false,
+        }
+    }
+
+    /// Read access to the RV32 core, when this RPU runs assembled firmware
+    /// (host debugger register inspection, §3.4).
+    pub fn cpu(&self) -> Option<&Cpu> {
+        match &self.engine {
+            Engine::Riscv(cpu) => Some(cpu),
+            _ => None,
+        }
+    }
+
+    /// Advances one clock cycle: core, then accelerator.
+    pub(crate) fn tick(&mut self, now: u64) {
+        self.inner.now = now;
+        if self.inner.watchdog_fired() {
+            self.raise_irq(crate::types::irq::TIMER);
+        }
+        if let RpuState::Reconfiguring { until } = self.state {
+            if now < until {
+                return;
+            }
+            // The host completes the boot via `System::finish_reconfigure`;
+            // until then the region stays inert.
+            return;
+        }
+
+        // Core.
+        if self.stall > 0 {
+            self.stall -= 1;
+            self.sw_cycles += 1;
+        } else {
+            match &mut self.engine {
+                Engine::Riscv(cpu) => {
+                    let mut bus = InnerBus(&mut self.inner);
+                    match cpu.step(&mut bus) {
+                        StepResult::Executed { cycles } => {
+                            self.stall += u64::from(cycles.saturating_sub(1));
+                            self.sw_cycles += 1;
+                        }
+                        StepResult::Ecall => {
+                            self.sw_cycles += 1;
+                        }
+                        StepResult::WaitingForInterrupt => {}
+                        StepResult::Break | StepResult::Fault(_) => {
+                            self.state = RpuState::Stopped;
+                        }
+                    }
+                }
+                Engine::Native(fw) => {
+                    let mut io = RpuIo {
+                        inner: &mut self.inner,
+                        stall: &mut self.stall,
+                    };
+                    // Deliver pending unmasked interrupts first.
+                    let pending = io.inner.native_irqs;
+                    if pending != 0 {
+                        io.inner.native_irqs = 0;
+                        for line in 0..32 {
+                            if pending & (1 << line) != 0 {
+                                fw.interrupt(line, &mut io);
+                            }
+                        }
+                    }
+                    fw.tick(&mut io);
+                    self.sw_cycles += 1;
+                }
+                Engine::Empty => {}
+            }
+        }
+
+        // Accelerator streams from its exclusive packet-memory port.
+        if let Some(accel) = &mut self.inner.accel {
+            accel.tick(&self.inner.pmem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::port;
+    use rosebud_riscv::assemble;
+
+    fn cfg() -> RosebudConfig {
+        RosebudConfig::with_rpus(4)
+    }
+
+    fn meta(id: u64) -> SlotMeta {
+        SlotMeta {
+            packet_id: id,
+            ts_gen: 0,
+            ingress_port: 0,
+            orig_len: 64,
+        }
+    }
+
+    #[test]
+    fn dma_places_packet_and_header() {
+        let mut rpu = Rpu::new(0, &cfg());
+        let frame: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        assert!(rpu.inner_mut().dma_deliver(2, &frame, meta(7)));
+        let addr = (rpu.inner().slot_addr(2) - memmap::PMEM_BASE) as usize;
+        assert_eq!(&rpu.inner().pmem()[addr..addr + 200], &frame[..]);
+        // Header copy: first 128 bytes land in dmem.
+        let h = (rpu.inner().header_slot_addr(2) - memmap::DMEM_BASE) as usize;
+        assert_eq!(&rpu.inner().dmem()[h..h + 128], &frame[..128]);
+    }
+
+    /// The forwarder firmware of §6.1 in our assembly: poll for a packet,
+    /// flip the port bit, send it back.
+    fn forwarder_asm() -> String {
+        "
+            .equ IO, 0x02000000
+                li t0, IO
+                li t2, 0x01000000        # port field XOR mask (bit 24)
+            poll:
+                lw a0, 0x00(t0)          # RECV_READY
+                beqz a0, poll
+                lw a1, 0x04(t0)          # RECV_DESC_LO
+                lw a2, 0x08(t0)          # RECV_DESC_DATA
+                sw zero, 0x0c(t0)        # RECV_RELEASE
+                xor a1, a1, t2           # swap egress port
+                sw a1, 0x10(t0)          # SEND_DESC_LO
+                sw a2, 0x14(t0)          # SEND_DESC_DATA (commit)
+                j poll
+            ".to_string()
+    }
+
+    #[test]
+    fn riscv_forwarder_round_trips_a_packet() {
+        let mut rpu = Rpu::new(0, &cfg());
+        let image = assemble(&forwarder_asm()).unwrap();
+        rpu.load_riscv(&image);
+        let frame = vec![0xabu8; 64];
+        rpu.inner_mut().dma_deliver(0, &frame, meta(1));
+        for now in 0..100 {
+            rpu.tick(now);
+        }
+        let (desc, bytes, m) = rpu.inner_mut().take_tx().expect("packet forwarded");
+        assert_eq!(desc.port, 1, "port flipped 0 -> 1");
+        assert_eq!(bytes, frame);
+        assert_eq!(m.unwrap().packet_id, 1);
+    }
+
+    #[test]
+    fn forwarder_loop_is_about_16_cycles_per_packet() {
+        // §6.1: "the minimum time for our packet forwarder to read a
+        // descriptor and send it back is 16 cycles".
+        let mut rpu = Rpu::new(0, &cfg());
+        rpu.load_riscv(&assemble(&forwarder_asm()).unwrap());
+        // Warm up.
+        for now in 0..200 {
+            rpu.tick(now);
+        }
+        // Keep the RPU saturated and measure packets over a window.
+        let frame = vec![0u8; 64];
+        let mut sent = 0u64;
+        let window = 1600;
+        for now in 200..200 + window {
+            // Top up the rx queue.
+            for slot in 0..8 {
+                if rpu.inner().rx_queue.iter().all(|d| d.tag != slot)
+                    && rpu.inner().slot_meta[slot as usize].is_none()
+                {
+                    rpu.inner_mut().dma_deliver(slot, &frame, meta(0));
+                }
+            }
+            rpu.tick(now);
+            while rpu.inner_mut().take_tx().is_some() {
+                sent += 1;
+            }
+        }
+        let cycles_per_packet = window as f64 / sent as f64;
+        assert!(
+            (12.0..=20.0).contains(&cycles_per_packet),
+            "forwarder took {cycles_per_packet} cycles/packet, expected ~16"
+        );
+    }
+
+    #[test]
+    fn native_firmware_charge_paces_execution() {
+        struct Fw {
+            handled: u64,
+        }
+        impl Firmware for Fw {
+            fn tick(&mut self, io: &mut RpuIo<'_>) {
+                if let Some(desc) = io.rx_pop() {
+                    self.handled += 1;
+                    io.send(Desc { port: desc.port ^ 1, ..desc });
+                    io.charge(15); // 1 (this tick) + 15 = 16 cycles/packet
+                }
+            }
+        }
+        let mut rpu = Rpu::new(0, &cfg());
+        rpu.load_native(Box::new(Fw { handled: 0 }));
+        let frame = vec![0u8; 64];
+        let mut sent = 0;
+        for now in 0..320 {
+            for slot in 0..4 {
+                if rpu.inner().slot_meta[slot as usize].is_none() {
+                    rpu.inner_mut().dma_deliver(slot, &frame, meta(0));
+                }
+            }
+            rpu.tick(now);
+            while rpu.inner_mut().take_tx().is_some() {
+                sent += 1;
+            }
+        }
+        assert_eq!(sent, 320 / 16);
+    }
+
+    #[test]
+    fn drop_by_zero_length() {
+        let mut rpu = Rpu::new(0, &cfg());
+        rpu.load_native(Box::new(DropAll));
+        struct DropAll;
+        impl Firmware for DropAll {
+            fn tick(&mut self, io: &mut RpuIo<'_>) {
+                if let Some(desc) = io.rx_pop() {
+                    io.send(Desc { len: 0, ..desc });
+                }
+            }
+        }
+        rpu.inner_mut().dma_deliver(0, &[1u8; 64], meta(9));
+        for now in 0..10 {
+            rpu.tick(now);
+        }
+        let (desc, bytes, _) = rpu.inner_mut().take_tx().unwrap();
+        assert_eq!(desc.len, 0);
+        assert!(bytes.is_empty());
+        assert_eq!(rpu.inner().counters().drops, 1);
+    }
+
+    #[test]
+    fn status_register_and_debug_channel_visible() {
+        let mut rpu = Rpu::new(0, &cfg());
+        let image = assemble(
+            "
+            .equ IO, 0x02000000
+                li t0, IO
+                li a0, 0x1234
+                sw a0, 0x18(t0)      # STATUS
+                li a1, 0x55
+                sw a1, 0x1c(t0)      # DEBUG_OUT_L
+                li a2, 0xAA
+                sw a2, 0x20(t0)      # DEBUG_OUT_H commits
+                ebreak
+            ",
+        )
+        .unwrap();
+        rpu.load_riscv(&image);
+        for now in 0..50 {
+            rpu.tick(now);
+        }
+        assert_eq!(rpu.inner().status, 0x1234);
+        assert_eq!(rpu.inner().debug_out, Some(0xAA_0000_0055));
+        assert!(rpu.is_halted());
+        assert_eq!(rpu.state(), RpuState::Stopped);
+    }
+
+    #[test]
+    fn drain_and_reconfigure_lifecycle() {
+        let mut rpu = Rpu::new(0, &cfg());
+        struct Echo;
+        impl Firmware for Echo {
+            fn tick(&mut self, io: &mut RpuIo<'_>) {
+                if let Some(desc) = io.rx_pop() {
+                    io.send(Desc { port: port::HOST, ..desc });
+                }
+            }
+        }
+        rpu.load_native(Box::new(Echo));
+        rpu.inner_mut().dma_deliver(0, &[0u8; 64], meta(1));
+        rpu.start_drain();
+        assert!(!rpu.is_drained());
+        for now in 0..10 {
+            rpu.tick(now);
+        }
+        let _ = rpu.inner_mut().take_tx();
+        assert!(rpu.is_drained());
+        rpu.begin_reconfigure(100);
+        assert!(matches!(rpu.state(), RpuState::Reconfiguring { until: 100 }));
+        rpu.tick(50); // inert
+        rpu.load_native(Box::new(Echo));
+        assert_eq!(rpu.state(), RpuState::Running);
+    }
+
+    #[test]
+    fn timer_mmio_reads_synced_clock() {
+        let mut rpu = Rpu::new(0, &cfg());
+        let image = assemble(
+            "
+            .equ IO, 0x02000000
+                li t0, IO
+                lw a0, 0x24(t0)   # TIMER_L
+                ebreak
+            ",
+        )
+        .unwrap();
+        rpu.load_riscv(&image);
+        for now in 1000..1010 {
+            rpu.tick(now);
+        }
+        let cpu = rpu.cpu().unwrap();
+        let a0 = cpu.reg(rosebud_riscv::Reg::parse("a0").unwrap());
+        assert!((1000..1010).contains(&u64::from(a0)), "timer read {a0}");
+    }
+}

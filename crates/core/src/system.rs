@@ -1,0 +1,737 @@
+//! The top-level Rosebud system: RPUs, load balancer, packet distribution,
+//! messaging, and the host bridge, advanced one 250 MHz cycle at a time.
+
+use rosebud_accel::Accelerator;
+use rosebud_kernel::{Clock, Counters, Cycle, DelayLine, Fifo, LatencyStats, Serializer};
+use rosebud_net::Packet;
+use rosebud_riscv::Image;
+
+use crate::config::RosebudConfig;
+use crate::fabric::{BcastArbiter, EgressItem, IngressItem, Loopback, PortState};
+use crate::lb::{LoadBalancer, SlotTracker};
+use crate::rpu::{Firmware, Rpu};
+use crate::types::{irq, port, HostDmaReq, SlotMeta, SELF_TAG};
+
+/// What runs on an RPU's core.
+pub enum RpuProgram {
+    /// Assembled RV32IM firmware on the instruction-set simulator.
+    Riscv(Image),
+    /// Native firmware with explicit cycle accounting.
+    Native(Box<dyn Firmware>),
+}
+
+impl std::fmt::Debug for RpuProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpuProgram::Riscv(img) => write!(f, "Riscv({} words)", img.words().len()),
+            RpuProgram::Native(fw) => write!(f, "Native({})", fw.name()),
+        }
+    }
+}
+
+/// Factory producing one firmware instance per RPU.
+pub type FirmwareFactory = Box<dyn Fn(usize) -> RpuProgram + Send>;
+/// Factory producing one accelerator instance per RPU.
+pub type AccelFactory = Box<dyn Fn(usize) -> Box<dyn Accelerator> + Send>;
+
+/// Builder for a [`Rosebud`] system.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_core::{Rosebud, RosebudConfig, RoundRobinLb, RpuProgram};
+/// use rosebud_riscv::assemble;
+///
+/// let image = assemble("
+///     spin: j spin
+/// ").unwrap();
+/// let sys = Rosebud::builder(RosebudConfig::with_rpus(4))
+///     .load_balancer(Box::new(RoundRobinLb::new()))
+///     .firmware(move |_rpu| RpuProgram::Riscv(image.clone()))
+///     .build()
+///     .unwrap();
+/// assert_eq!(sys.config().num_rpus, 4);
+/// ```
+pub struct RosebudBuilder {
+    cfg: RosebudConfig,
+    lb: Option<Box<dyn LoadBalancer>>,
+    firmware: Option<FirmwareFactory>,
+    accel: Option<AccelFactory>,
+}
+
+impl RosebudBuilder {
+    /// Installs the load-balancing policy (defaults to round-robin).
+    pub fn load_balancer(mut self, lb: Box<dyn LoadBalancer>) -> Self {
+        self.lb = Some(lb);
+        self
+    }
+
+    /// Installs the per-RPU firmware factory.
+    pub fn firmware<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(usize) -> RpuProgram + Send + 'static,
+    {
+        self.firmware = Some(Box::new(factory));
+        self
+    }
+
+    /// Installs the per-RPU accelerator factory.
+    pub fn accelerator<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn Accelerator> + Send + 'static,
+    {
+        self.accel = Some(Box::new(factory));
+        self
+    }
+
+    /// Constructs the system, loads accelerators and firmware into every
+    /// RPU, and boots them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration-validation message on an invalid
+    /// [`RosebudConfig`], or a description when no firmware was provided.
+    pub fn build(self) -> Result<Rosebud, String> {
+        self.cfg.validate()?;
+        let firmware = self.firmware.ok_or("no firmware installed")?;
+        let cfg = self.cfg;
+        let mut rpus: Vec<Rpu> = (0..cfg.num_rpus).map(|i| Rpu::new(i, &cfg)).collect();
+        for (i, rpu) in rpus.iter_mut().enumerate() {
+            if let Some(accel) = &self.accel {
+                rpu.set_accelerator(accel(i));
+            }
+            match firmware(i) {
+                RpuProgram::Riscv(image) => rpu.load_riscv(&image),
+                RpuProgram::Native(fw) => rpu.load_native(fw),
+            }
+        }
+        let tracker = SlotTracker::new(cfg.num_rpus, cfg.slots_per_rpu);
+        let enabled = if cfg.num_rpus >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << cfg.num_rpus) - 1
+        };
+        let ports = (0..cfg.num_ports).map(|_| PortState::new(&cfg)).collect();
+        let rpu_in = (0..cfg.num_rpus)
+            .map(|_| Serializer::new(cfg.rpu_link_bytes_per_cycle, cfg.slots_per_rpu + 2))
+            .collect();
+        let rpu_out = (0..cfg.num_rpus)
+            .map(|_| Serializer::new(cfg.rpu_link_bytes_per_cycle, cfg.slots_per_rpu + 2))
+            .collect();
+        Ok(Rosebud {
+            clock: Clock::new(cfg.clock_hz),
+            rpus,
+            lb: self
+                .lb
+                .unwrap_or_else(|| Box::new(crate::lb::RoundRobinLb::new())),
+            tracker,
+            enabled,
+            ports,
+            ingress_delay: DelayLine::new(cfg.ingress_fixed_cycles),
+            rpu_in,
+            rpu_out,
+            loopback: Loopback::new(&cfg),
+            bcast: BcastArbiter::new(&cfg),
+            bcast_latency: LatencyStats::new(),
+            host_rx_delay: DelayLine::new(cfg.pcie_rtt_cycles / 2),
+            host_rx: Vec::new(),
+            host_tx: Fifo::new(256),
+            host_dram: vec![0; 4 * 1024 * 1024],
+            host_dma_delay: DelayLine::new(cfg.pcie_rtt_cycles / 2),
+            pr_jobs: Vec::new(),
+            lb_assigned: 0,
+            lb_stall_cycles: 0,
+            routed_drops: 0,
+            firmware_factory: Some(firmware),
+            accel_factory: self.accel,
+            cfg,
+        })
+    }
+}
+
+pub(crate) struct PrJob {
+    pub rpu: usize,
+    pub phase: PrPhase,
+    pub program: Option<RpuProgram>,
+    pub accel: Option<Box<dyn Accelerator>>,
+}
+
+pub(crate) enum PrPhase {
+    Draining,
+    Writing { until: Cycle },
+}
+
+/// The simulated Rosebud system (Fig. 2): everything inside the DUT FPGA.
+pub struct Rosebud {
+    pub(crate) cfg: RosebudConfig,
+    pub(crate) clock: Clock,
+    pub(crate) rpus: Vec<Rpu>,
+    pub(crate) lb: Box<dyn LoadBalancer>,
+    pub(crate) tracker: SlotTracker,
+    pub(crate) enabled: u64,
+    pub(crate) ports: Vec<PortState>,
+    pub(crate) ingress_delay: DelayLine<IngressItem>,
+    pub(crate) rpu_in: Vec<Serializer<IngressItem>>,
+    pub(crate) rpu_out: Vec<Serializer<EgressItem>>,
+    pub(crate) loopback: Loopback,
+    pub(crate) bcast: BcastArbiter,
+    pub(crate) bcast_latency: LatencyStats,
+    pub(crate) host_rx_delay: DelayLine<Packet>,
+    pub(crate) host_rx: Vec<Packet>,
+    pub(crate) host_tx: Fifo<Packet>,
+    /// Host DRAM reachable from the RPUs through the DMA manager (§4.2).
+    pub(crate) host_dram: Vec<u8>,
+    pub(crate) host_dma_delay: DelayLine<(usize, HostDmaReq)>,
+    pub(crate) pr_jobs: Vec<PrJob>,
+    pub(crate) lb_assigned: u64,
+    pub(crate) lb_stall_cycles: u64,
+    pub(crate) routed_drops: u64,
+    pub(crate) firmware_factory: Option<FirmwareFactory>,
+    pub(crate) accel_factory: Option<AccelFactory>,
+}
+
+impl std::fmt::Debug for Rosebud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rosebud")
+            .field("rpus", &self.rpus.len())
+            .field("cycle", &self.clock.cycle())
+            .field("lb", &self.lb.name())
+            .finish()
+    }
+}
+
+impl Rosebud {
+    /// Starts building a system with `cfg`.
+    pub fn builder(cfg: RosebudConfig) -> RosebudBuilder {
+        RosebudBuilder {
+            cfg,
+            lb: None,
+            firmware: None,
+            accel: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RosebudConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.clock.cycle()
+    }
+
+    /// Elapsed simulated time in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.clock.ns()
+    }
+
+    /// The RPUs (host-side inspection).
+    pub fn rpus(&self) -> &[Rpu] {
+        &self.rpus
+    }
+
+    /// Mutable access to one RPU (host-side debugging, table loads).
+    pub fn rpu_mut(&mut self, rpu: usize) -> &mut Rpu {
+        &mut self.rpus[rpu]
+    }
+
+    /// Offers a packet to physical port `pkt.port`'s receive MAC. Returns
+    /// the packet back when the wire-side serializer is busy (the traffic
+    /// source retries next cycle — that is what "the link is saturated"
+    /// means).
+    pub fn inject(&mut self, pkt: Packet) -> Result<(), Packet> {
+        let now = self.clock.cycle();
+        let p = pkt.port as usize;
+        if p >= self.ports.len() {
+            return Err(pkt);
+        }
+        let wire = pkt.wire_len();
+        self.ports[p].counters.count_rx_frame(pkt.len());
+        self.ports[p].rx_mac.push(pkt, wire, now).inspect_err(|pkt| {
+            self.ports[p].counters.rx_frames -= 1;
+            self.ports[p].counters.rx_bytes -= pkt.len();
+        })
+    }
+
+    /// `true` if port `p`'s receive MAC can take another frame this cycle.
+    pub fn can_inject(&self, p: usize) -> bool {
+        p < self.ports.len() && !self.ports[p].rx_mac.is_full()
+    }
+
+    /// Drains frames delivered on physical port `p`.
+    pub fn take_output(&mut self, p: usize) -> Vec<Packet> {
+        std::mem::take(&mut self.ports[p].output)
+    }
+
+    /// Drains frames delivered to the host over PCIe.
+    pub fn take_host_packets(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.host_rx)
+    }
+
+    /// Queues a frame from the host's virtual Ethernet interface.
+    pub fn inject_from_host(&mut self, pkt: Packet) -> Result<(), Packet> {
+        self.host_tx.push(pkt)
+    }
+
+    /// Counters of physical port `p`.
+    pub fn port_counters(&self, p: usize) -> Counters {
+        self.ports[p].counters
+    }
+
+    /// Bytes currently queued in port `p`'s MAC receive FIFO (host-visible
+    /// occupancy, useful for locating bottlenecks per §4.3).
+    pub fn rx_fifo_bytes(&self, p: usize) -> u64 {
+        self.ports[p].rx_fifo.bytes()
+    }
+
+    /// Counters of RPU `r` (§4.3).
+    pub fn rpu_counters(&self, r: usize) -> Counters {
+        self.rpus[r].inner().counters()
+    }
+
+    /// Broadcast-message delivery latency samples, in nanoseconds (§6.3).
+    pub fn bcast_latency(&mut self) -> &mut LatencyStats {
+        &mut self.bcast_latency
+    }
+
+    /// Packets the LB has assigned so far.
+    pub fn lb_assigned(&self) -> u64 {
+        self.lb_assigned
+    }
+
+    /// Cycles the LB spent with a head-of-line packet it could not place.
+    pub fn lb_stall_cycles(&self) -> u64 {
+        self.lb_stall_cycles
+    }
+
+    /// Packets dropped by firmware (zero-length sends) plus routing errors.
+    pub fn drop_count(&self) -> u64 {
+        self.routed_drops
+    }
+
+    /// Runs `cycles` clock cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Advances the whole system by one clock cycle.
+    pub fn tick(&mut self) {
+        let now = self.clock.cycle();
+
+        // 1. Wire-side receive: MAC serializer → MAC FIFO (byte-bounded).
+        for p in &mut self.ports {
+            if let Some(ready) = p.rx_mac.head_ready_at() {
+                if ready <= now {
+                    if let Some(front_len) = p.rx_mac.front().map(Packet::len) {
+                        if p.rx_fifo.has_room(front_len) {
+                            let pkt = p.rx_mac.pop_ready(now).expect("head ready");
+                            p.rx_fifo
+                                .push(pkt).expect("room checked above");
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. LB stage: the distribution subsystem grants each incoming port
+        //    a slot every other cycle — the "125 MPPS per incoming port"
+        //    limit the paper reports (§6.1) — then serves the host's
+        //    (low-rate) virtual interface.
+        let nports = self.ports.len();
+        let service_slots = nports.max(2);
+        let p = (now as usize) % service_slots;
+        if p < nports && !self.lb_stage_port(p, now) {
+            self.lb_stall_cycles += 1;
+        }
+        self.lb_stage_host(now);
+
+        // 3. Fixed ingress pipeline → per-RPU 32 Gbps links.
+        while let Some(item) = self.ingress_delay.peek_ready(now) {
+            if self.rpu_in[item.rpu].is_full() {
+                break;
+            }
+            let item = self.ingress_delay.pop_ready(now).expect("peeked ready");
+            let len = item.bytes.len() as u64;
+            let rpu = item.rpu;
+            self.rpu_in[rpu]
+                .push(item, len, now).expect("fullness checked above");
+        }
+
+        // 4. Per-RPU link → DMA into packet memory + descriptor delivery.
+        for r in 0..self.rpus.len() {
+            if let Some(item) = self.rpu_in[r].pop_ready(now) {
+                let delivered =
+                    self.rpus[r]
+                        .inner_mut()
+                        .dma_deliver(item.slot, &item.bytes, item.meta);
+                if !delivered {
+                    // Should not happen: slots bound in-flight packets.
+                    self.tracker.release(r, item.slot);
+                    self.routed_drops += 1;
+                }
+            }
+        }
+
+        // 5. RPUs: core + accelerator.
+        for rpu in &mut self.rpus {
+            rpu.tick(now);
+        }
+
+        // 6. Committed sends → per-RPU egress links.
+        for r in 0..self.rpus.len() {
+            if self.rpu_out[r].is_full() {
+                continue;
+            }
+            if let Some((desc, bytes, meta)) = self.rpus[r].inner_mut().take_tx() {
+                if desc.len == 0 || bytes.is_empty() {
+                    if desc.tag != SELF_TAG {
+                        self.tracker.release(r, desc.tag);
+                    }
+                    self.routed_drops += 1;
+                    continue;
+                }
+                let len = bytes.len() as u64;
+                self.rpu_out[r]
+                    .push(
+                        EgressItem {
+                            src_rpu: r,
+                            desc,
+                            bytes,
+                            meta,
+                        },
+                        len,
+                        now,
+                    ).expect("fullness checked above");
+            }
+        }
+
+        // 7. Egress links → routing; slot freed once fully serialized out
+        //    ("the interconnect notifies the LB about slot being freed after
+        //    it is sent out", §4.2).
+        for r in 0..self.rpus.len() {
+            // Hold the egress link when the destination port's pipeline is
+            // congested: self-originated traffic (no slot bound) must not
+            // grow the egress queues without limit.
+            let Some(head) = self.rpu_out[r].front() else {
+                continue;
+            };
+            let dest = head.desc.port as usize;
+            if dest < self.ports.len() && self.ports[dest].tx_delay.len() >= 64 {
+                continue;
+            }
+            if let Some(item) = self.rpu_out[r].pop_ready(now) {
+                if item.desc.tag != SELF_TAG {
+                    self.tracker.release(item.src_rpu, item.desc.tag);
+                }
+                self.route_egress(item, now);
+            }
+        }
+
+        // 8. Physical-port egress pipelines → wire.
+        for p in &mut self.ports {
+            if p.tx_delay.peek_ready(now).is_some()
+                && !p.tx_mac.is_full() {
+                    let pkt = p.tx_delay.pop_ready(now).expect("peeked ready");
+                    let wire = pkt.wire_len();
+                    p.tx_mac.push(pkt, wire, now).expect("fullness checked");
+                }
+            if let Some(pkt) = p.tx_mac.pop_ready(now) {
+                p.counters.count_tx_frame(pkt.len());
+                p.output.push(pkt);
+            }
+        }
+
+        // 9. Loopback module (§4.4).
+        self.loopback.grant(now);
+        self.loopback_delivery(now);
+
+        // 10. Host PCIe delivery, and the host-DRAM access manager: RPU
+        //     DMA requests traverse PCIe, touch host DRAM, and complete with
+        //     the DMA interrupt (§4.2).
+        while let Some(pkt) = self.host_rx_delay.pop_ready(now) {
+            self.host_rx.push(pkt);
+        }
+        for r in 0..self.rpus.len() {
+            if let Some(req) = self.rpus[r].inner_mut().take_dma_req() {
+                self.host_dma_delay.push((r, req), now);
+            }
+        }
+        while let Some((r, req)) = self.host_dma_delay.pop_ready(now) {
+            let inner = self.rpus[r].inner_mut();
+            if req.to_host {
+                let bytes = inner.pmem_copy_out(req.local_addr, req.len);
+                let at = (req.host_addr as usize).min(self.host_dram.len());
+                let end = (at + bytes.len()).min(self.host_dram.len());
+                self.host_dram[at..end].copy_from_slice(&bytes[..end - at]);
+            } else {
+                let at = (req.host_addr as usize).min(self.host_dram.len());
+                let end = (at + req.len as usize).min(self.host_dram.len());
+                let bytes = self.host_dram[at..end].to_vec();
+                inner.pmem_copy_in(req.local_addr, &bytes);
+            }
+            self.rpus[r].inner_mut().dma_complete();
+            self.rpus[r].raise_irq(irq::DMA);
+        }
+
+        // 11. Broadcast arbiter: one outbox visited per cycle; delivery is
+        //     simultaneous at every RPU (§4.4).
+        let granted = self.bcast.granted_rpu(self.rpus.len());
+        if let Some(msg) = self.rpus[granted].inner_mut().pop_bcast() {
+            self.bcast.pipeline.push(msg, now);
+        }
+        while let Some(msg) = self.bcast.pipeline.pop_ready(now) {
+            self.bcast.delivered += 1;
+            self.bcast_latency
+                .record((now - msg.sent_at) as f64 * self.cfg.ns_per_cycle());
+            for rpu in &mut self.rpus {
+                let wants_irq = rpu.inner_mut().deliver_bcast(&msg);
+                if wants_irq {
+                    rpu.raise_irq(irq::BCAST);
+                }
+            }
+        }
+
+        // 12. Partial-reconfiguration jobs.
+        self.advance_pr_jobs(now);
+
+        self.clock.tick();
+    }
+
+    /// Attempts one LB assignment from port `p`'s MAC FIFO. Returns `false`
+    /// when a head-of-line packet exists but could not be placed.
+    fn lb_stage_port(&mut self, p: usize, now: Cycle) -> bool {
+        let Some(front) = self.ports[p].rx_fifo.front() else {
+            return true;
+        };
+        let Some(rpu) = self.lb.assign(front, &self.tracker, self.enabled) else {
+            return false;
+        };
+        if self.rpu_in[rpu].is_full() {
+            return false;
+        }
+        let slot = self
+            .tracker
+            .alloc(rpu)
+            .expect("LB only assigns RPUs with free slots");
+        let pkt = self.ports[p].rx_fifo.pop().expect("front checked");
+        let mut bytes = self.lb.prepend(&pkt).unwrap_or_default();
+        bytes.extend_from_slice(pkt.bytes());
+        let meta = SlotMeta {
+            packet_id: pkt.id,
+            ts_gen: pkt.ts_gen,
+            ingress_port: pkt.port,
+            orig_len: pkt.len() as u32,
+        };
+        self.lb_assigned += 1;
+        self.ingress_delay.push(
+            IngressItem {
+                rpu,
+                slot,
+                bytes,
+                meta,
+            },
+            now,
+        );
+        true
+    }
+
+    fn lb_stage_host(&mut self, now: Cycle) {
+        let Some(front) = self.host_tx.front() else {
+            return;
+        };
+        let Some(rpu) = self.lb.assign(front, &self.tracker, self.enabled) else {
+            return;
+        };
+        if self.rpu_in[rpu].is_full() {
+            return;
+        }
+        let slot = self.tracker.alloc(rpu).expect("assign implies a free slot");
+        let pkt = self.host_tx.pop().expect("front checked");
+        let mut bytes = self.lb.prepend(&pkt).unwrap_or_default();
+        bytes.extend_from_slice(pkt.bytes());
+        let meta = SlotMeta {
+            packet_id: pkt.id,
+            ts_gen: pkt.ts_gen,
+            ingress_port: pkt.port,
+            orig_len: pkt.len() as u32,
+        };
+        self.lb_assigned += 1;
+        self.ingress_delay.push(
+            IngressItem {
+                rpu,
+                slot,
+                bytes,
+                meta,
+            },
+            now,
+        );
+    }
+
+    fn route_egress(&mut self, item: EgressItem, now: Cycle) {
+        let meta = item.meta.unwrap_or(SlotMeta {
+            packet_id: 0,
+            ts_gen: now,
+            ingress_port: 0,
+            orig_len: item.bytes.len() as u32,
+        });
+        let dest = item.desc.port;
+        if (dest as usize) < self.ports.len() {
+            let pkt = Packet::new(meta.packet_id, item.bytes, dest, meta.ts_gen);
+            self.ports[dest as usize].tx_delay.push(pkt, now);
+        } else if dest == port::HOST {
+            let pkt = Packet::new(meta.packet_id, item.bytes, dest, meta.ts_gen);
+            self.host_rx_delay.push(pkt, now);
+        } else if dest >= port::LOOPBACK_BASE
+            && ((dest - port::LOOPBACK_BASE) as usize) < self.rpus.len()
+        {
+            if self.loopback.queue.push(item).is_err() {
+                self.loopback.counters.count_drop();
+                self.routed_drops += 1;
+            }
+        } else {
+            self.routed_drops += 1;
+        }
+    }
+
+    fn loopback_delivery(&mut self, now: Cycle) {
+        let Some(item) = self.loopback.wire.front() else {
+            return;
+        };
+        if !self.loopback.wire.head_ready(now) {
+            return;
+        }
+        let dst = (item.desc.port - port::LOOPBACK_BASE) as usize;
+        if self.tracker.free_count(dst) == 0 || self.rpu_in[dst].is_full() {
+            return; // destination backpressure stalls the loopback wire
+        }
+        let item = self.loopback.wire.pop_ready(now).expect("head ready");
+        let slot = self.tracker.alloc(dst).expect("free count checked");
+        let meta = item.meta.unwrap_or(SlotMeta {
+            packet_id: 0,
+            ts_gen: now,
+            ingress_port: item.desc.port,
+            orig_len: item.bytes.len() as u32,
+        });
+        let len = item.bytes.len() as u64;
+        self.rpu_in[dst]
+            .push(
+                IngressItem {
+                    rpu: dst,
+                    slot,
+                    bytes: item.bytes,
+                    meta: SlotMeta {
+                        ingress_port: port::LOOPBACK_BASE + item.src_rpu as u8,
+                        ..meta
+                    },
+                },
+                len,
+                now,
+            ).expect("fullness checked above");
+    }
+
+    fn advance_pr_jobs(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.pr_jobs.len() {
+            match self.pr_jobs[i].phase {
+                PrPhase::Draining => {
+                    let r = self.pr_jobs[i].rpu;
+                    let in_flight = !self.rpu_in[r].is_empty()
+                        || !self.rpu_out[r].is_empty()
+                        || !self.tracker.all_free(r);
+                    if self.rpus[r].is_drained() && !in_flight {
+                        let until = now + self.cfg.pr_cycles;
+                        self.rpus[r].begin_reconfigure(until);
+                        self.pr_jobs[i].phase = PrPhase::Writing { until };
+                    }
+                    i += 1;
+                }
+                PrPhase::Writing { until } if now >= until => {
+                    let job = self.pr_jobs.swap_remove(i);
+                    self.finish_reconfigure(job);
+                }
+                PrPhase::Writing { .. } => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn finish_reconfigure(&mut self, job: PrJob) {
+        let r = job.rpu;
+        if let Some(accel) = job.accel {
+            self.rpus[r].set_accelerator(accel);
+        } else if let Some(factory) = &self.accel_factory {
+            self.rpus[r].set_accelerator(factory(r));
+        }
+        let program = job.program.or_else(|| {
+            self.firmware_factory.as_ref().map(|f| f(r))
+        });
+        match program {
+            Some(RpuProgram::Riscv(image)) => self.rpus[r].load_riscv(&image),
+            Some(RpuProgram::Native(fw)) => self.rpus[r].load_native(fw),
+            None => {}
+        }
+        self.tracker.flush(r);
+        self.enabled |= 1 << r;
+    }
+
+    /// Sends a full packet from RPU `src` to RPU `dst` through the loopback
+    /// module — a convenience for tests; firmware does this by sending a
+    /// descriptor with port `LOOPBACK_BASE + dst`.
+    pub fn loopback_port_of(dst: usize) -> u8 {
+        port::LOOPBACK_BASE + dst as u8
+    }
+
+    /// Packet conservation check: everything injected is either still in
+    /// flight, delivered on a port/host, or an accounted drop. Intended for
+    /// test assertions.
+    pub fn in_flight(&self) -> usize {
+        let mac: usize = self
+            .ports
+            .iter()
+            .map(|p| p.rx_mac.len() + p.rx_fifo.len() + p.tx_delay.len() + p.tx_mac.len())
+            .sum();
+        let links: usize = self
+            .rpu_in
+            .iter()
+            .map(Serializer::len)
+            .chain(self.rpu_out.iter().map(Serializer::len))
+            .sum();
+        let rpu_slots: usize = (0..self.rpus.len())
+            .map(|r| self.cfg.slots_per_rpu - self.tracker.free_count(r))
+            .sum();
+        // Careful not to double count: slots cover packets queued in rx
+        // queues and being processed; rpu_in/rpu_out items also hold slots.
+        let overlap: usize = links;
+        mac + self.ingress_delay.len()
+            + rpu_slots.saturating_sub(overlap)
+            + links
+            + self.loopback.queue.len()
+            + self.loopback.wire.len()
+            + self.host_rx_delay.len()
+            + self.host_tx.len()
+    }
+
+    /// The slot tracker (test inspection).
+    pub fn tracker(&self) -> &SlotTracker {
+        &self.tracker
+    }
+
+    /// Host DRAM as the RPUs' DMA manager sees it (§4.2).
+    pub fn host_dram(&self) -> &[u8] {
+        &self.host_dram
+    }
+
+    /// Mutable host DRAM (host-side table preparation before DMA reads).
+    pub fn host_dram_mut(&mut self) -> &mut [u8] {
+        &mut self.host_dram
+    }
+
+    /// The active LB policy's name.
+    pub fn lb_name(&self) -> &str {
+        self.lb.name()
+    }
+}

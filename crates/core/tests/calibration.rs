@@ -1,0 +1,135 @@
+//! Calibration checks anchoring the simulation to the paper's measured
+//! numbers (§6): minimum forwarding latency (Eq. 1), small-packet forwarding
+//! rate (250 Mpps at 16 RPUs), and latency under saturation.
+
+use rosebud_core::{Harness, Rosebud, RosebudConfig, RoundRobinLb, RpuProgram};
+use rosebud_net::FixedSizeGen;
+use rosebud_riscv::assemble;
+
+/// The §6.1 forwarder: read a descriptor, flip the egress port, send.
+fn forwarder_image() -> rosebud_riscv::Image {
+    assemble(
+        "
+        .equ IO, 0x02000000
+            li t0, IO
+            li t1, 0x00800000        # context array in dmem
+            li t2, 0x01000000        # XOR mask for the port byte
+        poll:
+            lw a0, 0x00(t0)          # RECV_READY
+            beqz a0, poll
+            lw a1, 0x04(t0)          # RECV_DESC_LO
+            lw a2, 0x08(t0)          # RECV_DESC_DATA
+            sw a1, 0(t1)             # copy descriptor into context
+            sw a2, 4(t1)
+            sw zero, 0x0c(t0)        # RECV_RELEASE
+            xor a1, a1, t2
+            sw a1, 0x10(t0)          # SEND_DESC_LO
+            sw a2, 0x14(t0)          # SEND_DESC_DATA (commit)
+            j poll
+        ",
+    )
+    .unwrap()
+}
+
+fn forwarding_system(rpus: usize) -> Rosebud {
+    let image = forwarder_image();
+    Rosebud::builder(RosebudConfig::with_rpus(rpus))
+        .load_balancer(Box::new(RoundRobinLb::new()))
+        .firmware(move |_| RpuProgram::Riscv(image.clone()))
+        .build()
+        .unwrap()
+}
+
+/// Eq. 1: est. latency (µs) = size·8·(2/100 + 2/32)/1000 + 0.765.
+fn eq1_us(size: u64) -> f64 {
+    size as f64 * 8.0 * (2.0 / 100.0 + 2.0 / 32.0) / 1000.0 + 0.765
+}
+
+#[test]
+fn low_load_latency_tracks_equation_1() {
+    for &size in &[64u64, 256, 1500, 8192] {
+        let sys = forwarding_system(16);
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(size as usize, 2)), 1.0);
+        h.run(30_000);
+        h.begin_window();
+        h.run(120_000);
+        let mean_us = h.latency().mean() / 1000.0;
+        let expect = eq1_us(size);
+        println!("size {size}: measured {mean_us:.3} us, Eq.1 {expect:.3} us");
+        assert!(
+            (mean_us - expect).abs() / expect < 0.25,
+            "size {size}: measured {mean_us:.3} us vs Eq.1 {expect:.3} us"
+        );
+    }
+}
+
+#[test]
+fn small_packet_forwarding_rate_is_250mpps_at_16_rpus() {
+    let sys = forwarding_system(16);
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(64, 2)), 200.0);
+    h.run(50_000);
+    h.begin_window();
+    h.run(200_000);
+    let m = h.measure();
+    println!("64B @16 RPUs: {:.1} Mpps, {:.1} Gbps", m.mpps, m.gbps);
+    // §6.1: 250 Mpps — 88 % of the 284 Mpps line rate.
+    assert!(
+        (230.0..265.0).contains(&m.mpps),
+        "measured {:.1} Mpps, paper: 250",
+        m.mpps
+    );
+}
+
+#[test]
+fn small_packet_forwarding_rate_is_125mpps_at_8_rpus() {
+    let sys = forwarding_system(8);
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(64, 2)), 200.0);
+    h.run(50_000);
+    h.begin_window();
+    h.run(200_000);
+    let m = h.measure();
+    println!("64B @8 RPUs: {:.1} Mpps, {:.1} Gbps", m.mpps, m.gbps);
+    assert!(
+        (110.0..140.0).contains(&m.mpps),
+        "measured {:.1} Mpps, paper: 125",
+        m.mpps
+    );
+}
+
+#[test]
+fn large_packets_forward_at_line_rate() {
+    for &size in &[1024u64, 1500, 9000] {
+        let sys = forwarding_system(16);
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(size as usize, 2)), 200.0);
+        h.run(60_000);
+        h.begin_window();
+        h.run(200_000);
+        let m = h.measure();
+        let line = rosebud_net::effective_line_rate_gbps(200.0, size);
+        println!("size {size}: {:.1} Gbps (line {line:.1})", m.gbps);
+        assert!(
+            m.gbps > line * 0.97,
+            "size {size}: {:.1} Gbps below line rate {line:.1}",
+            m.gbps
+        );
+    }
+}
+
+#[test]
+fn saturated_64b_flood_adds_rx_fifo_latency() {
+    // §6.2: the 64-byte generator outruns the forwarder, the receive FIFO
+    // fills, and steady state adds ≈32.8 µs.
+    let sys = forwarding_system(16);
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(64, 2)), 205.0);
+    h.run(300_000);
+    h.begin_window();
+    h.run(100_000);
+    let mean_us = h.latency().mean() / 1000.0;
+    let low_load = eq1_us(64);
+    let added = mean_us - low_load;
+    println!("64B saturated: {mean_us:.1} us mean ({added:.1} us added)");
+    assert!(
+        (15.0..60.0).contains(&added),
+        "added latency {added:.1} us, paper: ~32.8"
+    );
+}

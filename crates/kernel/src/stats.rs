@@ -1,0 +1,275 @@
+//! Interface counters and latency aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-interface counters readable by the host (paper §4.3: "These counters
+/// contain the number of transferred bytes, frames, drops, or stalled
+/// cycles").
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_kernel::Counters;
+/// let mut c = Counters::default();
+/// c.count_rx_frame(64);
+/// c.count_tx_frame(64);
+/// assert_eq!(c.rx_frames, 1);
+/// assert_eq!(c.tx_bytes, 64);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Frames received.
+    pub rx_frames: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Frames transmitted.
+    pub tx_frames: u64,
+    /// Frames dropped (overflow or policy).
+    pub drops: u64,
+    /// Cycles spent stalled on backpressure.
+    pub stall_cycles: u64,
+}
+
+impl Counters {
+    /// Records an ingress frame of `bytes` bytes.
+    pub fn count_rx_frame(&mut self, bytes: u64) {
+        self.rx_bytes += bytes;
+        self.rx_frames += 1;
+    }
+
+    /// Records an egress frame of `bytes` bytes.
+    pub fn count_tx_frame(&mut self, bytes: u64) {
+        self.tx_bytes += bytes;
+        self.tx_frames += 1;
+    }
+
+    /// Records a dropped frame.
+    pub fn count_drop(&mut self) {
+        self.drops += 1;
+    }
+
+    /// Records `cycles` of backpressure stall.
+    pub fn count_stall(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+    }
+
+    /// Adds another counter set into this one (for aggregating interfaces).
+    pub fn merge(&mut self, other: &Counters) {
+        self.rx_bytes += other.rx_bytes;
+        self.rx_frames += other.rx_frames;
+        self.tx_bytes += other.tx_bytes;
+        self.tx_frames += other.tx_frames;
+        self.drops += other.drops;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// Online aggregation of latency samples in nanoseconds.
+///
+/// Keeps every sample so exact percentiles can be reported, like the paper's
+/// RTT experiment which post-processes captured timestamps (§6.2, Appendix D).
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_kernel::LatencyStats;
+/// let mut stats = LatencyStats::new();
+/// for ns in [100.0, 200.0, 300.0] {
+///     stats.record(ns);
+/// }
+/// assert_eq!(stats.mean(), 200.0);
+/// assert_eq!(stats.min(), 100.0);
+/// assert_eq!(stats.max(), 300.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: f64) {
+        self.samples.push(ns);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest sample; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `p`-th percentile (0.0–100.0); 0.0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+            self.sorted = true;
+        }
+        let rank = (p / 100.0 * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// All samples recorded so far, in insertion or sorted order depending on
+    /// whether a percentile has been queried.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A fixed-bucket histogram for cycle-granularity distributions (e.g. cycles
+/// spent per packet, Fig. 9).
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_kernel::Histogram;
+/// let mut h = Histogram::new(10, 8); // 8 buckets of width 10
+/// h.record(5);
+/// h.record(25);
+/// h.record(1_000); // clamps to the last bucket
+/// assert_eq!(h.bucket_counts()[0], 1);
+/// assert_eq!(h.bucket_counts()[2], 1);
+/// assert_eq!(h.bucket_counts()[7], 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` buckets, each `bucket_width` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be non-zero");
+        assert!(buckets > 0, "bucket count must be non-zero");
+        Self {
+            bucket_width,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value; out-of-range values clamp to the last bucket.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::default();
+        a.count_rx_frame(100);
+        a.count_drop();
+        let mut b = Counters::default();
+        b.count_tx_frame(50);
+        b.count_stall(7);
+        a.merge(&b);
+        assert_eq!(a.rx_bytes, 100);
+        assert_eq!(a.tx_frames, 1);
+        assert_eq!(a.drops, 1);
+        assert_eq!(a.stall_cycles, 7);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut stats = LatencyStats::new();
+        for i in 1..=100 {
+            stats.record(i as f64);
+        }
+        assert_eq!(stats.percentile(0.0), 1.0);
+        assert_eq!(stats.percentile(50.0), 51.0);
+        assert_eq!(stats.percentile(100.0), 100.0);
+        assert_eq!(stats.count(), 100);
+    }
+
+    #[test]
+    fn latency_empty_is_zero() {
+        let mut stats = LatencyStats::new();
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.min(), 0.0);
+        assert_eq!(stats.max(), 0.0);
+        assert_eq!(stats.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(1, 200);
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), 15.0);
+    }
+}

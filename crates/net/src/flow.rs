@@ -1,0 +1,137 @@
+//! 5-tuple flow identification and hashing.
+
+use crate::packet::Packet;
+use crate::{IpProtocol, ETH_HEADER_LEN, IPV4_HEADER_LEN};
+
+/// A 5-tuple flow key.
+///
+/// The hash-based load balancer in the Pigasus case study computes a 32-bit
+/// hash of this tuple inline and prepends it to each packet so the firmware
+/// can reuse it without recomputation (§7.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source IPv4 address (host order).
+    pub src_ip: u32,
+    /// Destination IPv4 address (host order).
+    pub dst_ip: u32,
+    /// Source L4 port.
+    pub src_port: u16,
+    /// Destination L4 port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// Extracts the flow key from a TCP or UDP over IPv4 packet. Returns
+    /// `None` for anything else.
+    pub fn of(pkt: &Packet) -> Option<Self> {
+        let ip = pkt.ipv4().ok()?;
+        let l4 = pkt.bytes().get(ETH_HEADER_LEN + IPV4_HEADER_LEN..)?;
+        if l4.len() < 4 {
+            return None;
+        }
+        if ip.protocol != IpProtocol::TCP && ip.protocol != IpProtocol::UDP {
+            return None;
+        }
+        Some(Self {
+            src_ip: ip.src_u32(),
+            dst_ip: ip.dst_u32(),
+            src_port: u16::from_be_bytes([l4[0], l4[1]]),
+            dst_port: u16::from_be_bytes([l4[2], l4[3]]),
+            protocol: ip.protocol.0,
+        })
+    }
+
+    /// The 32-bit flow hash of this key.
+    pub fn hash(&self) -> u32 {
+        let mut h = FNV_OFFSET;
+        for b in self
+            .src_ip
+            .to_be_bytes()
+            .into_iter()
+            .chain(self.dst_ip.to_be_bytes())
+            .chain(self.src_port.to_be_bytes())
+            .chain(self.dst_port.to_be_bytes())
+            .chain([self.protocol])
+        {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // A final avalanche so low bits are well mixed: the LB keys RPUs off
+        // only 3–4 bits of the hash (§7.1.2).
+        h ^= h >> 16;
+        h = h.wrapping_mul(0x7feb_352d);
+        h ^= h >> 15;
+        h
+    }
+}
+
+const FNV_OFFSET: u32 = 0x811c_9dc5;
+const FNV_PRIME: u32 = 0x0100_0193;
+
+/// Convenience: the flow hash of a packet, or `None` for non-TCP/UDP frames.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_net::{flow_hash, PacketBuilder};
+/// let a = PacketBuilder::new().tcp(1000, 80).build();
+/// let b = PacketBuilder::new().tcp(1000, 80).payload(b"different body").build();
+/// assert_eq!(flow_hash(&a), flow_hash(&b)); // same flow, same hash
+/// ```
+pub fn flow_hash(pkt: &Packet) -> Option<u32> {
+    FlowKey::of(pkt).map(|k| k.hash())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+
+    #[test]
+    fn same_flow_same_hash() {
+        let a = PacketBuilder::new()
+            .src_ip([1, 2, 3, 4])
+            .tcp(1111, 443)
+            .payload(b"a")
+            .build();
+        let b = PacketBuilder::new()
+            .src_ip([1, 2, 3, 4])
+            .tcp(1111, 443)
+            .payload(b"bbbb")
+            .build();
+        assert_eq!(flow_hash(&a), flow_hash(&b));
+        assert!(flow_hash(&a).is_some());
+    }
+
+    #[test]
+    fn different_ports_different_hash() {
+        let a = PacketBuilder::new().tcp(1111, 443).build();
+        let b = PacketBuilder::new().tcp(1112, 443).build();
+        assert_ne!(flow_hash(&a), flow_hash(&b));
+    }
+
+    #[test]
+    fn non_ip_has_no_flow() {
+        let pkt = Packet::new(0, vec![0u8; 64], 0, 0);
+        assert_eq!(flow_hash(&pkt), None);
+    }
+
+    #[test]
+    fn low_bits_spread_across_rpus() {
+        // The hash LB uses 3 low bits to pick among 8 RPUs; flows must not
+        // all collide into a few buckets.
+        let mut buckets = [0u32; 8];
+        for port in 0..4096u16 {
+            let pkt = PacketBuilder::new().tcp(port, 443).build();
+            buckets[(flow_hash(&pkt).unwrap() & 7) as usize] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!(
+                (300..=800).contains(&count),
+                "bucket {i} has {count} flows; distribution too skewed"
+            );
+        }
+    }
+}

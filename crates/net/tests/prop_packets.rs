@@ -1,0 +1,117 @@
+//! Property tests on the packet substrate: build→parse round-trips,
+//! checksum validity, and flow-hash stability.
+
+use proptest::prelude::*;
+use rosebud_net::{flow_hash, ipv4_checksum, FlowKey, Ipv4Header, PacketBuilder};
+
+proptest! {
+    #[test]
+    fn tcp_build_parse_round_trip(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let pkt = PacketBuilder::new()
+            .src_ip(src)
+            .dst_ip(dst)
+            .tcp(sport, dport)
+            .seq(seq)
+            .payload(&payload)
+            .build();
+        let ip = pkt.ipv4().unwrap();
+        prop_assert_eq!(ip.src, src);
+        prop_assert_eq!(ip.dst, dst);
+        prop_assert_eq!(ip.total_len as usize, 20 + 20 + payload.len());
+        let tcp = pkt.tcp().unwrap();
+        prop_assert_eq!(tcp.src_port, sport);
+        prop_assert_eq!(tcp.dst_port, dport);
+        prop_assert_eq!(tcp.seq, seq);
+        prop_assert_eq!(pkt.payload().unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn udp_build_parse_round_trip(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let pkt = PacketBuilder::new().udp(sport, dport).payload(&payload).build();
+        let udp = pkt.udp().unwrap();
+        prop_assert_eq!(udp.src_port, sport);
+        prop_assert_eq!(udp.dst_port, dport);
+        prop_assert_eq!(udp.len as usize, 8 + payload.len());
+    }
+
+    #[test]
+    fn ipv4_checksum_validates(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        len in 20u16..1500,
+        ttl in 1u8..=255,
+        ident in any::<u16>(),
+    ) {
+        let hdr = Ipv4Header {
+            dscp: 0,
+            total_len: len,
+            ident,
+            ttl,
+            protocol: rosebud_net::IpProtocol::TCP,
+            checksum: 0,
+            src,
+            dst,
+        };
+        let mut buf = [0u8; 20];
+        hdr.write(&mut buf);
+        // The stored checksum must make the header sum to 0xffff; the
+        // checksum function over the written header must agree with the
+        // stored field.
+        let stored = u16::from_be_bytes([buf[10], buf[11]]);
+        prop_assert_eq!(ipv4_checksum(&buf), stored);
+    }
+
+    #[test]
+    fn pad_to_never_shrinks(
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+        target in 60usize..2000,
+    ) {
+        let pkt = PacketBuilder::new().tcp(1, 2).payload(&payload).pad_to(target).build();
+        prop_assert!(pkt.len() as usize >= target.max(54 + payload.len()));
+    }
+
+    #[test]
+    fn flow_hash_depends_only_on_five_tuple(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        pa in proptest::collection::vec(any::<u8>(), 0..64),
+        pb in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mk = |payload: &[u8]| {
+            PacketBuilder::new()
+                .src_ip(src)
+                .dst_ip(dst)
+                .tcp(sport, dport)
+                .payload(payload)
+                .build()
+        };
+        prop_assert_eq!(flow_hash(&mk(&pa)), flow_hash(&mk(&pb)));
+    }
+
+    #[test]
+    fn flow_key_extraction_matches_headers(
+        src in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+    ) {
+        let pkt = PacketBuilder::new().src_ip(src).tcp(sport, dport).build();
+        let key = FlowKey::of(&pkt).unwrap();
+        prop_assert_eq!(key.src_ip, u32::from_be_bytes(src));
+        prop_assert_eq!(key.src_port, sport);
+        prop_assert_eq!(key.dst_port, dport);
+        prop_assert_eq!(key.protocol, 6);
+    }
+}

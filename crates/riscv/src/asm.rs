@@ -1,0 +1,1145 @@
+//! A two-pass RV32IM assembler.
+//!
+//! The paper's firmware is C compiled with riscv-gcc; in this reproduction
+//! the hand-tuned firmware (forwarder, firewall) is written directly in
+//! assembly — the paper itself notes that at these packet rates firmware is
+//! hand-counted cycles anyway ("the minimum time for our packet forwarder to
+//! read a descriptor and send it back is 16 cycles", §6.1).
+//!
+//! Supports the full RV32IM instruction set, the common pseudo-instructions
+//! (`li`, `la`, `mv`, `j`, `call`, `ret`, `beqz`, `csrw`, …), labels,
+//! `#`/`//` comments, and the directives `.word`, `.half`, `.byte`,
+//! `.ascii`, `.asciz`, `.space`, `.align`, `.equ`, and `.org`. Sub-word
+//! data directives pad their extent to a word boundary so code that follows
+//! stays aligned.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{encode, AluOp, BranchOp, CsrOp, CsrSrc, Instr, LoadOp, MulOp, Reg, StoreOp};
+
+/// An assembled program image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    base: u32,
+    words: Vec<u32>,
+    symbols: HashMap<String, u32>,
+}
+
+impl Image {
+    /// The load address of the first word.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The assembled 32-bit words, in memory order.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The image as little-endian bytes.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Looks up a label's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles `source` at base address 0.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax error,
+/// unknown mnemonic, undefined symbol, or out-of-range immediate.
+///
+/// # Examples
+///
+/// ```
+/// let image = rosebud_riscv::assemble("
+///     li a0, 1
+///     ebreak
+/// ").unwrap();
+/// assert_eq!(image.words().len(), 2);
+/// ```
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    assemble_at(source, 0)
+}
+
+/// Assembles `source` with the first word at `base`.
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
+    let statements = parse(source)?;
+
+    // Pass 1: lay out addresses and collect symbols.
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut pc = base;
+    let mut placed: Vec<(u32, &Statement)> = Vec::new();
+    for stmt in &statements {
+        for label in &stmt.labels {
+            if symbols.insert(label.clone(), pc).is_some() {
+                return Err(err(stmt.line, format!("duplicate label `{label}`")));
+            }
+        }
+        match &stmt.body {
+            Body::Equ(name, expr) => {
+                // `.equ` values may only reference already-defined symbols.
+                let value = eval(expr, &symbols, stmt.line)?;
+                symbols.insert(name.clone(), value as u32);
+            }
+            Body::Org(expr) => {
+                let target = eval(expr, &symbols, stmt.line)? as u32;
+                if target < pc {
+                    return Err(err(stmt.line, format!(".org 0x{target:x} moves backwards")));
+                }
+                pc = target;
+            }
+            Body::None => {}
+            body => {
+                placed.push((pc, stmt));
+                pc += body_size(body, stmt.line)?;
+            }
+        }
+    }
+
+    // Pass 2: emit words.
+    let mut words: Vec<u32> = Vec::new();
+    let emit_at = |words: &mut Vec<u32>, addr: u32, word: u32| {
+        let index = ((addr - base) / 4) as usize;
+        if words.len() <= index {
+            words.resize(index + 1, 0);
+        }
+        words[index] = word;
+    };
+    fn emit_bytes(words: &mut Vec<u32>, base: u32, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let off = (addr - base) as usize + i;
+            let index = off / 4;
+            if words.len() <= index {
+                words.resize(index + 1, 0);
+            }
+            let mut lanes = words[index].to_le_bytes();
+            lanes[off % 4] = b;
+            words[index] = u32::from_le_bytes(lanes);
+        }
+    }
+    for (addr, stmt) in placed {
+        match &stmt.body {
+            Body::Instr(mnemonic, operands) => {
+                let instrs = lower(mnemonic, operands, addr, &symbols, stmt.line)?;
+                for (i, instr) in instrs.iter().enumerate() {
+                    emit_at(&mut words, addr + (i as u32) * 4, encode(*instr));
+                }
+            }
+            Body::Word(exprs) => {
+                for (i, expr) in exprs.iter().enumerate() {
+                    let value = eval(expr, &symbols, stmt.line)? as u32;
+                    emit_at(&mut words, addr + (i as u32) * 4, value);
+                }
+            }
+            Body::Data(unit, exprs) => {
+                let mut bytes = Vec::with_capacity(exprs.len() * *unit as usize);
+                for expr in exprs {
+                    let value = eval(expr, &symbols, stmt.line)?;
+                    match unit {
+                        1 => {
+                            if !(-128..256).contains(&value) {
+                                return Err(err(stmt.line, format!("byte value {value} out of range")));
+                            }
+                            bytes.push(value as u8);
+                        }
+                        _ => {
+                            if !(-32768..65536).contains(&value) {
+                                return Err(err(stmt.line, format!("half value {value} out of range")));
+                            }
+                            bytes.extend_from_slice(&(value as u16).to_le_bytes());
+                        }
+                    }
+                }
+                emit_bytes(&mut words, base, addr, &bytes);
+            }
+            Body::Ascii(bytes) => {
+                emit_bytes(&mut words, base, addr, bytes);
+            }
+            Body::Space(bytes) => {
+                let end = addr + bytes;
+                if end > base + (words.len() as u32) * 4 {
+                    // Zero fill happens implicitly via resize on the next emit;
+                    // force the vector to cover the space.
+                    let index = ((end - base).div_ceil(4)) as usize;
+                    if words.len() < index {
+                        words.resize(index, 0);
+                    }
+                }
+            }
+            Body::Align(_) => {}
+            Body::Equ(..) | Body::Org(..) | Body::None => unreachable!("not placed"),
+        }
+    }
+
+    Ok(Image {
+        base,
+        words,
+        symbols,
+    })
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Statement {
+    line: usize,
+    labels: Vec<String>,
+    body: Body,
+}
+
+#[derive(Debug, Clone)]
+enum Body {
+    None,
+    Instr(String, Vec<String>),
+    Word(Vec<Expr>),
+    /// Sub-word data: unit size in bytes (1 or 2) plus the values.
+    Data(u32, Vec<Expr>),
+    /// Raw string bytes (`.ascii` / `.asciz`).
+    Ascii(Vec<u8>),
+    Space(u32),
+    Align(#[allow(dead_code)] u32),
+    Equ(String, Expr),
+    Org(Expr),
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i64),
+    Sym(String, i64),
+}
+
+fn parse(source: &str) -> Result<Vec<Statement>, AsmError> {
+    let mut statements = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw;
+        if let Some(at) = text.find('#') {
+            text = &text[..at];
+        }
+        if let Some(at) = text.find("//") {
+            text = &text[..at];
+        }
+        let mut text = text.trim();
+        let mut labels = Vec::new();
+        while let Some(colon) = text.find(':') {
+            let (head, tail) = text.split_at(colon);
+            let head = head.trim();
+            if head.is_empty() || !is_ident(head) {
+                break;
+            }
+            labels.push(head.to_string());
+            text = tail[1..].trim();
+        }
+        let body = if text.is_empty() {
+            Body::None
+        } else if let Some(rest) = text.strip_prefix('.') {
+            parse_directive(rest, line)?
+        } else {
+            let (mnemonic, rest) = match text.find(char::is_whitespace) {
+                Some(at) => (&text[..at], text[at..].trim()),
+                None => (text, ""),
+            };
+            let operands = split_operands(rest);
+            Body::Instr(mnemonic.to_ascii_lowercase(), operands)
+        };
+        if !labels.is_empty() || !matches!(body, Body::None) {
+            statements.push(Statement { line, labels, body });
+        }
+    }
+    Ok(statements)
+}
+
+fn parse_directive(rest: &str, line: usize) -> Result<Body, AsmError> {
+    let (name, args) = match rest.find(char::is_whitespace) {
+        Some(at) => (&rest[..at], rest[at..].trim()),
+        None => (rest, ""),
+    };
+    match name {
+        "word" => {
+            let exprs = split_operands(args)
+                .iter()
+                .map(|a| parse_expr(a, line))
+                .collect::<Result<Vec<_>, _>>()?;
+            if exprs.is_empty() {
+                return Err(err(line, ".word needs at least one value"));
+            }
+            Ok(Body::Word(exprs))
+        }
+        "byte" | "half" => {
+            let unit = if name == "byte" { 1 } else { 2 };
+            let exprs = split_operands(args)
+                .iter()
+                .map(|a| parse_expr(a, line))
+                .collect::<Result<Vec<_>, _>>()?;
+            if exprs.is_empty() {
+                return Err(err(line, format!(".{name} needs at least one value")));
+            }
+            Ok(Body::Data(unit, exprs))
+        }
+        "ascii" | "asciz" => {
+            let text = args.trim();
+            let inner = text
+                .strip_prefix('"')
+                .and_then(|t| t.strip_suffix('"'))
+                .ok_or_else(|| err(line, format!(".{name} needs a quoted string")))?;
+            let mut bytes = Vec::with_capacity(inner.len() + 1);
+            let mut chars = inner.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    match chars.next() {
+                        Some('n') => bytes.push(b'\n'),
+                        Some('t') => bytes.push(b'\t'),
+                        Some('0') => bytes.push(0),
+                        Some('\\') => bytes.push(b'\\'),
+                        Some('"') => bytes.push(b'"'),
+                        other => {
+                            return Err(err(line, format!("bad escape \\{other:?}")));
+                        }
+                    }
+                } else {
+                    let mut buf = [0u8; 4];
+                    bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                }
+            }
+            if name == "asciz" {
+                bytes.push(0);
+            }
+            Ok(Body::Ascii(bytes))
+        }
+        "space" => {
+            let n: u32 = args
+                .parse()
+                .map_err(|_| err(line, format!("bad .space size `{args}`")))?;
+            Ok(Body::Space(n.div_ceil(4) * 4))
+        }
+        "align" => {
+            let n: u32 = args
+                .parse()
+                .map_err(|_| err(line, format!("bad .align value `{args}`")))?;
+            Ok(Body::Align(n))
+        }
+        "equ" => {
+            let parts = split_operands(args);
+            if parts.len() != 2 {
+                return Err(err(line, ".equ needs `name, value`"));
+            }
+            Ok(Body::Equ(parts[0].clone(), parse_expr(&parts[1], line)?))
+        }
+        "org" => Ok(Body::Org(parse_expr(args, line)?)),
+        other => Err(err(line, format!("unknown directive .{other}"))),
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().unwrap().is_ascii_digit()
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    if s.trim().is_empty() {
+        return Vec::new();
+    }
+    s.split(',').map(|p| p.trim().to_string()).collect()
+}
+
+fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
+    let s = s.trim();
+    if let Some(value) = parse_int(s) {
+        return Ok(Expr::Lit(value));
+    }
+    // symbol, symbol+lit, symbol-lit
+    for (at, sign) in s
+        .char_indices()
+        .skip(1)
+        .filter(|(_, c)| *c == '+' || *c == '-')
+    {
+        let (sym, lit) = s.split_at(at);
+        let sym = sym.trim();
+        let lit = lit[1..].trim();
+        if is_ident(sym) {
+            if let Some(mut value) = parse_int(lit) {
+                if sign == '-' {
+                    value = -value;
+                }
+                return Ok(Expr::Sym(sym.to_string(), value));
+            }
+        }
+    }
+    if is_ident(s) {
+        return Ok(Expr::Sym(s.to_string(), 0));
+    }
+    Err(err(line, format!("cannot parse expression `{s}`")))
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2).ok()?
+    } else if s.chars().all(|c| c.is_ascii_digit()) && !s.is_empty() {
+        s.parse().ok()?
+    } else {
+        return None;
+    };
+    Some(if neg { -value } else { value })
+}
+
+fn eval(expr: &Expr, symbols: &HashMap<String, u32>, line: usize) -> Result<i64, AsmError> {
+    match expr {
+        Expr::Lit(v) => Ok(*v),
+        Expr::Sym(name, offset) => symbols
+            .get(name)
+            .map(|v| i64::from(*v) + offset)
+            .ok_or_else(|| err(line, format!("undefined symbol `{name}`"))),
+    }
+}
+
+fn body_size(body: &Body, line: usize) -> Result<u32, AsmError> {
+    Ok(match body {
+        Body::Instr(mnemonic, operands) => instr_size(mnemonic, operands),
+        Body::Word(exprs) => (exprs.len() * 4) as u32,
+        Body::Data(unit, exprs) => ((exprs.len() as u32 * unit).div_ceil(4)) * 4,
+        Body::Ascii(bytes) => (bytes.len() as u32).div_ceil(4) * 4,
+        Body::Space(bytes) => *bytes,
+        Body::Align(_) => 0, // everything is word aligned already
+        Body::Equ(..) | Body::Org(..) | Body::None => {
+            return Err(err(line, "internal: unsized body"))
+        }
+    })
+}
+
+/// `li`/`la` may expand to two instructions; everything else is one.
+fn instr_size(mnemonic: &str, operands: &[String]) -> u32 {
+    match mnemonic {
+        "li" | "la" => {
+            if let Some(op) = operands.get(1) {
+                if let Some(value) = parse_int(op) {
+                    if (-2048..2048).contains(&value) {
+                        return 4;
+                    }
+                }
+            }
+            8
+        }
+        _ => 4,
+    }
+}
+
+fn reg_op(operands: &[String], idx: usize, line: usize) -> Result<Reg, AsmError> {
+    let name = operands
+        .get(idx)
+        .ok_or_else(|| err(line, format!("missing operand {idx}")))?;
+    Reg::parse(name).ok_or_else(|| err(line, format!("bad register `{name}`")))
+}
+
+fn imm_op(
+    operands: &[String],
+    idx: usize,
+    symbols: &HashMap<String, u32>,
+    line: usize,
+) -> Result<i64, AsmError> {
+    let text = operands
+        .get(idx)
+        .ok_or_else(|| err(line, format!("missing operand {idx}")))?;
+    eval(&parse_expr(text, line)?, symbols, line)
+}
+
+/// Parses `imm(rs)` memory-operand syntax.
+fn mem_op(
+    operands: &[String],
+    idx: usize,
+    symbols: &HashMap<String, u32>,
+    line: usize,
+) -> Result<(Reg, i32), AsmError> {
+    let text = operands
+        .get(idx)
+        .ok_or_else(|| err(line, format!("missing operand {idx}")))?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `imm(reg)`, got `{text}`")))?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("unclosed `(` in `{text}`")))?;
+    let imm_text = text[..open].trim();
+    let imm = if imm_text.is_empty() {
+        0
+    } else {
+        eval(&parse_expr(imm_text, line)?, symbols, line)?
+    };
+    if !(-2048..2048).contains(&imm) {
+        return Err(err(line, format!("memory offset {imm} out of range")));
+    }
+    let reg = Reg::parse(text[open + 1..close].trim())
+        .ok_or_else(|| err(line, format!("bad register in `{text}`")))?;
+    Ok((reg, imm as i32))
+}
+
+fn branch_imm(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
+    let delta = target - i64::from(pc);
+    if !(-4096..4096).contains(&delta) || delta % 2 != 0 {
+        return Err(err(line, format!("branch target out of range ({delta})")));
+    }
+    Ok(delta as i32)
+}
+
+fn jump_imm(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
+    let delta = target - i64::from(pc);
+    if !(-(1 << 20)..(1 << 20)).contains(&delta) || delta % 2 != 0 {
+        return Err(err(line, format!("jump target out of range ({delta})")));
+    }
+    Ok(delta as i32)
+}
+
+fn csr_number(name: &str, line: usize) -> Result<u16, AsmError> {
+    if let Some(v) = parse_int(name) {
+        if (0..4096).contains(&v) {
+            return Ok(v as u16);
+        }
+    }
+    Ok(match name {
+        "mstatus" => 0x300,
+        "mie" => 0x304,
+        "mtvec" => 0x305,
+        "mscratch" => 0x340,
+        "mepc" => 0x341,
+        "mcause" => 0x342,
+        "mip" => 0x344,
+        "mcycle" => 0xb00,
+        "mcycleh" => 0xb80,
+        "minstret" => 0xb02,
+        other => return Err(err(line, format!("unknown CSR `{other}`"))),
+    })
+}
+
+fn check_i_imm(imm: i64, line: usize) -> Result<i32, AsmError> {
+    if !(-2048..2048).contains(&imm) {
+        return Err(err(line, format!("immediate {imm} out of 12-bit range")));
+    }
+    Ok(imm as i32)
+}
+
+fn lower(
+    mnemonic: &str,
+    operands: &[String],
+    pc: u32,
+    symbols: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Vec<Instr>, AsmError> {
+    use Instr::*;
+    let ops = operands;
+
+    let alu_imm = |op: AluOp| -> Result<Vec<Instr>, AsmError> {
+        Ok(vec![OpImm {
+            op,
+            rd: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 1, line)?,
+            imm: check_i_imm(imm_op(ops, 2, symbols, line)?, line)?,
+        }])
+    };
+    let shift_imm = |op: AluOp| -> Result<Vec<Instr>, AsmError> {
+        let amount = imm_op(ops, 2, symbols, line)?;
+        if !(0..32).contains(&amount) {
+            return Err(err(line, format!("shift amount {amount} out of range")));
+        }
+        Ok(vec![OpImm {
+            op,
+            rd: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 1, line)?,
+            imm: amount as i32,
+        }])
+    };
+    let alu_reg = |op: AluOp| -> Result<Vec<Instr>, AsmError> {
+        Ok(vec![Op {
+            op,
+            rd: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 1, line)?,
+            rs2: reg_op(ops, 2, line)?,
+        }])
+    };
+    let mul_reg = |op: MulOp| -> Result<Vec<Instr>, AsmError> {
+        Ok(vec![MulDiv {
+            op,
+            rd: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 1, line)?,
+            rs2: reg_op(ops, 2, line)?,
+        }])
+    };
+    let load = |op: LoadOp| -> Result<Vec<Instr>, AsmError> {
+        let (rs1, imm) = mem_op(ops, 1, symbols, line)?;
+        Ok(vec![Load {
+            op,
+            rd: reg_op(ops, 0, line)?,
+            rs1,
+            imm,
+        }])
+    };
+    let store = |op: StoreOp| -> Result<Vec<Instr>, AsmError> {
+        let (rs1, imm) = mem_op(ops, 1, symbols, line)?;
+        Ok(vec![Store {
+            op,
+            rs1,
+            rs2: reg_op(ops, 0, line)?,
+            imm,
+        }])
+    };
+    let branch = |op: BranchOp, swap: bool| -> Result<Vec<Instr>, AsmError> {
+        let (a, b) = (reg_op(ops, 0, line)?, reg_op(ops, 1, line)?);
+        let (rs1, rs2) = if swap { (b, a) } else { (a, b) };
+        let target = imm_op(ops, 2, symbols, line)?;
+        Ok(vec![Branch {
+            op,
+            rs1,
+            rs2,
+            imm: branch_imm(target, pc, line)?,
+        }])
+    };
+    let branch_zero = |op: BranchOp, swap: bool| -> Result<Vec<Instr>, AsmError> {
+        let r = reg_op(ops, 0, line)?;
+        let (rs1, rs2) = if swap { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
+        let target = imm_op(ops, 1, symbols, line)?;
+        Ok(vec![Branch {
+            op,
+            rs1,
+            rs2,
+            imm: branch_imm(target, pc, line)?,
+        }])
+    };
+    let li_expand = |rd: Reg, value: i64| -> Result<Vec<Instr>, AsmError> {
+        let value = value as i32;
+        if (-2048..2048).contains(&i64::from(value)) && instr_size(mnemonic, ops) == 4 {
+            Ok(vec![OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::ZERO,
+                imm: value,
+            }])
+        } else {
+            // lui + addi, with the +0x800 carry trick.
+            let hi = (value.wrapping_add(0x800)) >> 12;
+            let lo = value.wrapping_sub(hi << 12);
+            Ok(vec![
+                Lui { rd, imm: hi },
+                OpImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                },
+            ])
+        }
+    };
+    let csr_instr = |op: CsrOp, rd: Reg, csr_idx: usize, src_idx: usize, imm_form: bool| -> Result<Vec<Instr>, AsmError> {
+        let csr = csr_number(
+            ops.get(csr_idx)
+                .ok_or_else(|| err(line, "missing CSR operand"))?,
+            line,
+        )?;
+        let src = if imm_form {
+            let v = imm_op(ops, src_idx, symbols, line)?;
+            if !(0..32).contains(&v) {
+                return Err(err(line, format!("CSR immediate {v} out of range")));
+            }
+            CsrSrc::Imm(v as u8)
+        } else {
+            CsrSrc::Reg(reg_op(ops, src_idx, line)?)
+        };
+        Ok(vec![Csr { op, rd, csr, src }])
+    };
+
+    match mnemonic {
+        // --- U/J/I-type primaries ---
+        "lui" => Ok(vec![Lui {
+            rd: reg_op(ops, 0, line)?,
+            imm: {
+                let v = imm_op(ops, 1, symbols, line)?;
+                if !(0..(1 << 20)).contains(&v) && !(-(1 << 19)..0).contains(&v) {
+                    return Err(err(line, format!("lui immediate {v} out of range")));
+                }
+                v as i32
+            },
+        }]),
+        "auipc" => Ok(vec![Auipc {
+            rd: reg_op(ops, 0, line)?,
+            imm: imm_op(ops, 1, symbols, line)? as i32,
+        }]),
+        "jal" => {
+            // `jal label` or `jal rd, label`.
+            let (rd, target) = if ops.len() == 1 {
+                (Reg::RA, imm_op(ops, 0, symbols, line)?)
+            } else {
+                (reg_op(ops, 0, line)?, imm_op(ops, 1, symbols, line)?)
+            };
+            Ok(vec![Jal {
+                rd,
+                imm: jump_imm(target, pc, line)?,
+            }])
+        }
+        "jalr" => {
+            // `jalr rs`, `jalr rd, rs, imm`, or `jalr rd, imm(rs)`.
+            if ops.len() == 1 {
+                Ok(vec![Jalr {
+                    rd: Reg::RA,
+                    rs1: reg_op(ops, 0, line)?,
+                    imm: 0,
+                }])
+            } else if ops.len() == 2 && ops[1].contains('(') {
+                let (rs1, imm) = mem_op(ops, 1, symbols, line)?;
+                Ok(vec![Jalr {
+                    rd: reg_op(ops, 0, line)?,
+                    rs1,
+                    imm,
+                }])
+            } else {
+                Ok(vec![Jalr {
+                    rd: reg_op(ops, 0, line)?,
+                    rs1: reg_op(ops, 1, line)?,
+                    imm: check_i_imm(imm_op(ops, 2, symbols, line)?, line)?,
+                }])
+            }
+        }
+        // --- branches ---
+        "beq" => branch(BranchOp::Eq, false),
+        "bne" => branch(BranchOp::Ne, false),
+        "blt" => branch(BranchOp::Lt, false),
+        "bge" => branch(BranchOp::Ge, false),
+        "bltu" => branch(BranchOp::Ltu, false),
+        "bgeu" => branch(BranchOp::Geu, false),
+        "bgt" => branch(BranchOp::Lt, true),
+        "ble" => branch(BranchOp::Ge, true),
+        "bgtu" => branch(BranchOp::Ltu, true),
+        "bleu" => branch(BranchOp::Geu, true),
+        "beqz" => branch_zero(BranchOp::Eq, false),
+        "bnez" => branch_zero(BranchOp::Ne, false),
+        "bltz" => branch_zero(BranchOp::Lt, false),
+        "bgez" => branch_zero(BranchOp::Ge, false),
+        "bgtz" => branch_zero(BranchOp::Lt, true),
+        "blez" => branch_zero(BranchOp::Ge, true),
+        // --- loads/stores ---
+        "lb" => load(LoadOp::Lb),
+        "lh" => load(LoadOp::Lh),
+        "lw" => load(LoadOp::Lw),
+        "lbu" => load(LoadOp::Lbu),
+        "lhu" => load(LoadOp::Lhu),
+        "sb" => store(StoreOp::Sb),
+        "sh" => store(StoreOp::Sh),
+        "sw" => store(StoreOp::Sw),
+        // --- ALU immediate ---
+        "addi" => alu_imm(AluOp::Add),
+        "slti" => alu_imm(AluOp::Slt),
+        "sltiu" => alu_imm(AluOp::Sltu),
+        "xori" => alu_imm(AluOp::Xor),
+        "ori" => alu_imm(AluOp::Or),
+        "andi" => alu_imm(AluOp::And),
+        "slli" => shift_imm(AluOp::Sll),
+        "srli" => shift_imm(AluOp::Srl),
+        "srai" => shift_imm(AluOp::Sra),
+        // --- ALU register ---
+        "add" => alu_reg(AluOp::Add),
+        "sub" => alu_reg(AluOp::Sub),
+        "sll" => alu_reg(AluOp::Sll),
+        "slt" => alu_reg(AluOp::Slt),
+        "sltu" => alu_reg(AluOp::Sltu),
+        "xor" => alu_reg(AluOp::Xor),
+        "srl" => alu_reg(AluOp::Srl),
+        "sra" => alu_reg(AluOp::Sra),
+        "or" => alu_reg(AluOp::Or),
+        "and" => alu_reg(AluOp::And),
+        // --- M extension ---
+        "mul" => mul_reg(MulOp::Mul),
+        "mulh" => mul_reg(MulOp::Mulh),
+        "mulhsu" => mul_reg(MulOp::Mulhsu),
+        "mulhu" => mul_reg(MulOp::Mulhu),
+        "div" => mul_reg(MulOp::Div),
+        "divu" => mul_reg(MulOp::Divu),
+        "rem" => mul_reg(MulOp::Rem),
+        "remu" => mul_reg(MulOp::Remu),
+        // --- system ---
+        "fence" => Ok(vec![Fence]),
+        "ecall" => Ok(vec![Ecall]),
+        "ebreak" => Ok(vec![Ebreak]),
+        "mret" => Ok(vec![Mret]),
+        "wfi" => Ok(vec![Wfi]),
+        "csrrw" => csr_instr(CsrOp::Rw, reg_op(ops, 0, line)?, 1, 2, false),
+        "csrrs" => csr_instr(CsrOp::Rs, reg_op(ops, 0, line)?, 1, 2, false),
+        "csrrc" => csr_instr(CsrOp::Rc, reg_op(ops, 0, line)?, 1, 2, false),
+        "csrrwi" => csr_instr(CsrOp::Rw, reg_op(ops, 0, line)?, 1, 2, true),
+        "csrrsi" => csr_instr(CsrOp::Rs, reg_op(ops, 0, line)?, 1, 2, true),
+        "csrrci" => csr_instr(CsrOp::Rc, reg_op(ops, 0, line)?, 1, 2, true),
+        "csrr" => Ok(vec![Csr {
+            op: CsrOp::Rs,
+            rd: reg_op(ops, 0, line)?,
+            csr: csr_number(
+                ops.get(1)
+                    .ok_or_else(|| err(line, "csrr needs `rd, csr`"))?,
+                line,
+            )?,
+            src: CsrSrc::Reg(Reg::ZERO),
+        }]),
+        "csrw" => csr_instr(CsrOp::Rw, Reg::ZERO, 0, 1, false),
+        "csrs" => csr_instr(CsrOp::Rs, Reg::ZERO, 0, 1, false),
+        "csrc" => csr_instr(CsrOp::Rc, Reg::ZERO, 0, 1, false),
+        "csrwi" => csr_instr(CsrOp::Rw, Reg::ZERO, 0, 1, true),
+        "csrsi" => csr_instr(CsrOp::Rs, Reg::ZERO, 0, 1, true),
+        "csrci" => csr_instr(CsrOp::Rc, Reg::ZERO, 0, 1, true),
+        // --- pseudo-instructions ---
+        "nop" => Ok(vec![OpImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        }]),
+        "li" | "la" => {
+            let rd = reg_op(ops, 0, line)?;
+            let value = imm_op(ops, 1, symbols, line)?;
+            if !(-(1i64 << 31)..(1i64 << 32)).contains(&value) {
+                return Err(err(line, format!("li value {value} does not fit 32 bits")));
+            }
+            li_expand(rd, value as u32 as i32 as i64)
+        }
+        "mv" => Ok(vec![OpImm {
+            op: AluOp::Add,
+            rd: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 1, line)?,
+            imm: 0,
+        }]),
+        "not" => Ok(vec![OpImm {
+            op: AluOp::Xor,
+            rd: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 1, line)?,
+            imm: -1,
+        }]),
+        "neg" => Ok(vec![Op {
+            op: AluOp::Sub,
+            rd: reg_op(ops, 0, line)?,
+            rs1: Reg::ZERO,
+            rs2: reg_op(ops, 1, line)?,
+        }]),
+        "seqz" => Ok(vec![OpImm {
+            op: AluOp::Sltu,
+            rd: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 1, line)?,
+            imm: 1,
+        }]),
+        "snez" => Ok(vec![Op {
+            op: AluOp::Sltu,
+            rd: reg_op(ops, 0, line)?,
+            rs1: Reg::ZERO,
+            rs2: reg_op(ops, 1, line)?,
+        }]),
+        "j" => {
+            let target = imm_op(ops, 0, symbols, line)?;
+            Ok(vec![Jal {
+                rd: Reg::ZERO,
+                imm: jump_imm(target, pc, line)?,
+            }])
+        }
+        "jr" => Ok(vec![Jalr {
+            rd: Reg::ZERO,
+            rs1: reg_op(ops, 0, line)?,
+            imm: 0,
+        }]),
+        "call" => {
+            let target = imm_op(ops, 0, symbols, line)?;
+            Ok(vec![Jal {
+                rd: Reg::RA,
+                imm: jump_imm(target, pc, line)?,
+            }])
+        }
+        "ret" => Ok(vec![Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            imm: 0,
+        }]),
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li_small_is_one_instruction() {
+        let image = assemble("li a0, 42").unwrap();
+        assert_eq!(image.words().len(), 1);
+    }
+
+    #[test]
+    fn li_large_is_lui_addi() {
+        let image = assemble("li a0, 0x12345678").unwrap();
+        assert_eq!(image.words().len(), 2);
+        // Verify by executing.
+        use crate::cpu::{Cpu, RamBus, StepResult};
+        let mut bus = RamBus::new(256);
+        bus.load_image(0, image.words());
+        let mut cpu = Cpu::new(0);
+        cpu.step(&mut bus);
+        cpu.step(&mut bus);
+        assert_eq!(cpu.reg(Reg(10)), 0x12345678);
+        let _ = StepResult::Break;
+    }
+
+    #[test]
+    fn li_negative_carry_case() {
+        // 0x7ffff800 has low-12 of 0x800 which sign-extends negative: the
+        // carry trick must compensate.
+        for value in [0x7fff_f800u32, 0xffff_f800, 0x0000_0800, 0xdead_beef] {
+            let image = assemble(&format!("li a0, 0x{value:x}")).unwrap();
+            use crate::cpu::{Cpu, RamBus};
+            let mut bus = RamBus::new(256);
+            bus.load_image(0, image.words());
+            let mut cpu = Cpu::new(0);
+            for _ in 0..image.words().len() {
+                cpu.step(&mut bus);
+            }
+            assert_eq!(cpu.reg(Reg(10)), value, "li 0x{value:x}");
+        }
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let image = assemble(
+            "
+            start:
+                beq a0, a1, start
+                bne a0, a1, end
+                nop
+            end:
+                ebreak
+            ",
+        )
+        .unwrap();
+        assert_eq!(image.symbol("start"), Some(0));
+        assert_eq!(image.symbol("end"), Some(12));
+        assert_eq!(image.words().len(), 4);
+    }
+
+    #[test]
+    fn equ_and_word_directives() {
+        let image = assemble(
+            "
+            .equ MAGIC, 0xCAFE
+                li a0, MAGIC
+            data:
+                .word 1, 2, MAGIC
+            ",
+        )
+        .unwrap();
+        let data_at = (image.symbol("data").unwrap() / 4) as usize;
+        assert_eq!(image.words()[data_at], 1);
+        assert_eq!(image.words()[data_at + 2], 0xCAFE);
+    }
+
+    #[test]
+    fn org_places_code() {
+        let image = assemble(
+            "
+                nop
+            .org 0x20
+            later:
+                nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(image.symbol("later"), Some(0x20));
+        assert_eq!(image.words().len(), 9);
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let error = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(error.message.contains("duplicate"));
+        assert_eq!(error.line, 2);
+    }
+
+    #[test]
+    fn undefined_symbol_is_error() {
+        let error = assemble("j nowhere").unwrap_err();
+        assert!(error.message.contains("undefined"), "{error}");
+    }
+
+    #[test]
+    fn out_of_range_branch_is_error() {
+        let source = "start: nop\n.org 0x4000\nb: beq a0, a1, start".to_string();
+        let error = assemble(&source).unwrap_err();
+        assert!(error.message.contains("out of range"), "{error}");
+    }
+
+    #[test]
+    fn bad_register_reports_line() {
+        let error = assemble("nop\nadd a0, q7, a1").unwrap_err();
+        assert_eq!(error.line, 2);
+        assert!(error.message.contains("bad register"));
+    }
+
+    #[test]
+    fn memory_operand_with_symbolic_offset() {
+        let image = assemble(
+            "
+            .equ OFF, 16
+            lw a0, OFF(t0)
+            ",
+        )
+        .unwrap();
+        let instr = crate::isa::decode(image.words()[0]).unwrap();
+        assert!(matches!(instr, Instr::Load { imm: 16, .. }));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let image = assemble(
+            "
+            nop # trailing comment
+            // whole-line comment
+            nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(image.words().len(), 2);
+    }
+
+    #[test]
+    fn symbol_plus_offset() {
+        let image = assemble(
+            "
+            base:
+                .word 0, 0, 0
+                li a0, base+8
+            ",
+        )
+        .unwrap();
+        // li expands to lui+addi (symbol form); executing yields 8.
+        use crate::cpu::{Cpu, RamBus};
+        let mut bus = RamBus::new(256);
+        bus.load_image(0, image.words());
+        let mut cpu = Cpu::new(12);
+        cpu.step(&mut bus);
+        cpu.step(&mut bus);
+        assert_eq!(cpu.reg(Reg(10)), 8);
+    }
+}
+
+#[cfg(test)]
+mod data_directive_tests {
+    use super::*;
+
+    #[test]
+    fn byte_directive_packs_little_endian() {
+        let image = assemble(
+            "
+            data:
+                .byte 0x11, 0x22, 0x33, 0x44, 0x55
+            after:
+                nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(image.words()[0], 0x4433_2211);
+        assert_eq!(image.words()[1] & 0xff, 0x55);
+        // 5 bytes pad to 8: `after` is word-aligned.
+        assert_eq!(image.symbol("after"), Some(8));
+    }
+
+    #[test]
+    fn half_directive_packs_pairs() {
+        let image = assemble(".half 0x1234, 0xBEEF").unwrap();
+        assert_eq!(image.words()[0], 0xBEEF_1234);
+    }
+
+    #[test]
+    fn asciz_appends_nul_and_aligns() {
+        let image = assemble(
+            "
+            msg:
+                .asciz \"hi\\n\"
+            code:
+                nop
+            ",
+        )
+        .unwrap();
+        let bytes = image.bytes();
+        assert_eq!(&bytes[0..4], b"hi\n\0");
+        assert_eq!(image.symbol("code"), Some(4));
+    }
+
+    #[test]
+    fn firmware_can_read_its_own_string_table() {
+        use crate::cpu::{Cpu, RamBus, StepResult};
+        let image = assemble(
+            "
+                j start
+            table:
+                .byte 10, 20, 30, 40
+            start:
+                li t0, table
+                lbu a0, 0(t0)
+                lbu a1, 3(t0)
+                add a0, a0, a1
+                ebreak
+            ",
+        )
+        .unwrap();
+        let mut bus = RamBus::new(4096);
+        bus.load_image(0, image.words());
+        let mut cpu = Cpu::new(0);
+        while !matches!(cpu.step(&mut bus), StepResult::Break) {}
+        assert_eq!(cpu.reg(Reg::parse("a0").unwrap()), 50);
+    }
+
+    #[test]
+    fn out_of_range_byte_rejected() {
+        let e = assemble(".byte 300").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn unquoted_ascii_rejected() {
+        let e = assemble(".ascii hello").unwrap_err();
+        assert!(e.message.contains("quoted"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Disassembly of decoded instructions, for debug dumps and round-trip tests.
+
+use crate::isa::{AluOp, BranchOp, CsrOp, CsrSrc, Instr, LoadOp, MulOp, StoreOp};
+
+/// Renders `instr` as assembly text (ABI register names, decimal immediates).
+///
+/// The output parses back through the assembler to the same instruction, a
+/// property the test suite verifies for randomly generated instructions.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_riscv::{decode, disassemble};
+/// let text = disassemble(decode(0x02a0_0513).unwrap());
+/// assert_eq!(text, "addi a0, zero, 42");
+/// ```
+pub fn disassemble(instr: Instr) -> String {
+    match instr {
+        Instr::Lui { rd, imm } => format!("lui {rd}, {imm}"),
+        Instr::Auipc { rd, imm } => format!("auipc {rd}, {imm}"),
+        Instr::Jal { rd, imm } => format!("jal {rd}, {imm}"),
+        Instr::Jalr { rd, rs1, imm } => format!("jalr {rd}, {rs1}, {imm}"),
+        Instr::Branch { op, rs1, rs2, imm } => {
+            let name = match op {
+                BranchOp::Eq => "beq",
+                BranchOp::Ne => "bne",
+                BranchOp::Lt => "blt",
+                BranchOp::Ge => "bge",
+                BranchOp::Ltu => "bltu",
+                BranchOp::Geu => "bgeu",
+            };
+            format!("{name} {rs1}, {rs2}, {imm}")
+        }
+        Instr::Load { op, rd, rs1, imm } => {
+            let name = match op {
+                LoadOp::Lb => "lb",
+                LoadOp::Lh => "lh",
+                LoadOp::Lw => "lw",
+                LoadOp::Lbu => "lbu",
+                LoadOp::Lhu => "lhu",
+            };
+            format!("{name} {rd}, {imm}({rs1})")
+        }
+        Instr::Store { op, rs1, rs2, imm } => {
+            let name = match op {
+                StoreOp::Sb => "sb",
+                StoreOp::Sh => "sh",
+                StoreOp::Sw => "sw",
+            };
+            format!("{name} {rs2}, {imm}({rs1})")
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            let name = match op {
+                AluOp::Add => "addi",
+                AluOp::Slt => "slti",
+                AluOp::Sltu => "sltiu",
+                AluOp::Xor => "xori",
+                AluOp::Or => "ori",
+                AluOp::And => "andi",
+                AluOp::Sll => "slli",
+                AluOp::Srl => "srli",
+                AluOp::Sra => "srai",
+                AluOp::Sub => unreachable!("no subi"),
+            };
+            format!("{name} {rd}, {rs1}, {imm}")
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let name = match op {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::Sll => "sll",
+                AluOp::Slt => "slt",
+                AluOp::Sltu => "sltu",
+                AluOp::Xor => "xor",
+                AluOp::Srl => "srl",
+                AluOp::Sra => "sra",
+                AluOp::Or => "or",
+                AluOp::And => "and",
+            };
+            format!("{name} {rd}, {rs1}, {rs2}")
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            let name = match op {
+                MulOp::Mul => "mul",
+                MulOp::Mulh => "mulh",
+                MulOp::Mulhsu => "mulhsu",
+                MulOp::Mulhu => "mulhu",
+                MulOp::Div => "div",
+                MulOp::Divu => "divu",
+                MulOp::Rem => "rem",
+                MulOp::Remu => "remu",
+            };
+            format!("{name} {rd}, {rs1}, {rs2}")
+        }
+        Instr::Fence => "fence".to_string(),
+        Instr::Ecall => "ecall".to_string(),
+        Instr::Ebreak => "ebreak".to_string(),
+        Instr::Mret => "mret".to_string(),
+        Instr::Wfi => "wfi".to_string(),
+        Instr::Csr { op, rd, csr, src } => {
+            let (name, operand) = match (op, src) {
+                (CsrOp::Rw, CsrSrc::Reg(r)) => ("csrrw", r.to_string()),
+                (CsrOp::Rs, CsrSrc::Reg(r)) => ("csrrs", r.to_string()),
+                (CsrOp::Rc, CsrSrc::Reg(r)) => ("csrrc", r.to_string()),
+                (CsrOp::Rw, CsrSrc::Imm(v)) => ("csrrwi", v.to_string()),
+                (CsrOp::Rs, CsrSrc::Imm(v)) => ("csrrsi", v.to_string()),
+                (CsrOp::Rc, CsrSrc::Imm(v)) => ("csrrci", v.to_string()),
+            };
+            format!("{name} {rd}, {csr}, {operand}")
+        }
+    }
+}
+
+/// Disassembles a word image into `(address, word, text)` rows — the debug
+/// dump the host-side tooling prints when inspecting a halted RPU (§3.4).
+pub fn disassemble_image(base: u32, words: &[u32]) -> Vec<(u32, u32, String)> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &word)| {
+            let addr = base + (i as u32) * 4;
+            let text = match crate::isa::decode(word) {
+                Ok(instr) => disassemble(instr),
+                Err(_) => format!(".word 0x{word:08x}"),
+            };
+            (addr, word, text)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::isa::{decode, Reg};
+
+    #[test]
+    fn disassembly_reassembles_identically() {
+        let source = "
+            lui t0, 16
+            auipc t1, 0
+            addi a0, zero, -7
+            slti a1, a0, 3
+            srai a2, a1, 4
+            add a3, a1, a2
+            sub a4, a3, a0
+            mulhu a5, a4, a3
+            lw s0, 8(sp)
+            sb s1, -1(gp)
+            jalr ra, t0, 4
+            fence
+            ecall
+            wfi
+        ";
+        let image = assemble(source).unwrap();
+        for &word in image.words() {
+            let instr = decode(word).unwrap();
+            let text = disassemble(instr);
+            let re = assemble(&text).unwrap();
+            assert_eq!(re.words().len(), 1, "{text}");
+            assert_eq!(decode(re.words()[0]).unwrap(), instr, "{text}");
+        }
+    }
+
+    #[test]
+    fn image_dump_marks_data_words() {
+        let image = assemble(".word 0xffffffff\nnop").unwrap();
+        let dump = disassemble_image(0x100, image.words());
+        assert_eq!(dump[0].2, ".word 0xffffffff");
+        assert_eq!(dump[1].0, 0x104);
+        assert_eq!(dump[1].2, "addi zero, zero, 0");
+        let _ = Reg::ZERO;
+    }
+}

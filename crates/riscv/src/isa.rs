@@ -1,0 +1,704 @@
+//! RV32IM instruction definitions, decoding, and encoding.
+
+use std::fmt;
+
+/// A decoded RV32IM instruction.
+///
+/// Covers the full RV32I base set plus the M extension and the handful of
+/// system instructions (CSR access, `mret`, `wfi`, `ecall`, `ebreak`) the
+/// VexRiscv core in each RPU supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field names (rd, rs1, rs2, imm, op) follow the ISA manual
+pub enum Instr {
+    /// Load upper immediate: `rd = imm << 12`.
+    Lui { rd: Reg, imm: i32 },
+    /// Add upper immediate to PC: `rd = pc + (imm << 12)`.
+    Auipc { rd: Reg, imm: i32 },
+    /// Jump and link: `rd = pc + 4; pc += imm`.
+    Jal { rd: Reg, imm: i32 },
+    /// Jump and link register: `rd = pc + 4; pc = (rs1 + imm) & !1`.
+    Jalr { rd: Reg, rs1: Reg, imm: i32 },
+    /// Conditional branch.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, imm: i32 },
+    /// Memory load.
+    Load { op: LoadOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Memory store.
+    Store { op: StoreOp, rs1: Reg, rs2: Reg, imm: i32 },
+    /// Register-immediate ALU operation.
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Register-register ALU operation.
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// M-extension multiply/divide.
+    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Memory fence (a no-op in the in-order single-core model).
+    Fence,
+    /// Environment call (used by firmware to signal the simulator).
+    Ecall,
+    /// Breakpoint (halts the core for the host debugger, §3.4).
+    Ebreak,
+    /// CSR read-write/set/clear, register or immediate form.
+    Csr { op: CsrOp, rd: Reg, csr: u16, src: CsrSrc },
+    /// Return from machine-mode trap.
+    Mret,
+    /// Wait for interrupt: parks the core until an interrupt is pending.
+    Wfi,
+}
+
+/// A register index 0–31.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+
+    /// Creates a register, checking range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range: {index}");
+        Reg(index)
+    }
+
+    /// The ABI name (`zero`, `ra`, `sp`, `a0`, …).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parses either an `x<N>` or ABI register name.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let name = name.trim();
+        if let Some(num) = name.strip_prefix('x') {
+            if let Ok(n) = num.parse::<u8>() {
+                if n < 32 {
+                    return Some(Reg(n));
+                }
+            }
+        }
+        let idx = match name {
+            "zero" => 0,
+            "ra" => 1,
+            "sp" => 2,
+            "gp" => 3,
+            "tp" => 4,
+            "t0" => 5,
+            "t1" => 6,
+            "t2" => 7,
+            "s0" | "fp" => 8,
+            "s1" => 9,
+            "a0" => 10,
+            "a1" => 11,
+            "a2" => 12,
+            "a3" => 13,
+            "a4" => 14,
+            "a5" => 15,
+            "a6" => 16,
+            "a7" => 17,
+            "s2" => 18,
+            "s3" => 19,
+            "s4" => 20,
+            "s5" => 21,
+            "s6" => 22,
+            "s7" => 23,
+            "s8" => 24,
+            "s9" => 25,
+            "s10" => 26,
+            "s11" => 27,
+            "t3" => 28,
+            "t4" => 29,
+            "t5" => 30,
+            "t6" => 31,
+            _ => return None,
+        };
+        Some(Reg(idx))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// Branch comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater or equal (signed).
+    Ge,
+    /// Branch if less than (unsigned).
+    Ltu,
+    /// Branch if greater or equal (unsigned).
+    Geu,
+}
+
+/// Load widths and signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// Load byte, sign-extended.
+    Lb,
+    /// Load halfword, sign-extended.
+    Lh,
+    /// Load word.
+    Lw,
+    /// Load byte, zero-extended.
+    Lbu,
+    /// Load halfword, zero-extended.
+    Lhu,
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// Store byte.
+    Sb,
+    /// Store halfword.
+    Sh,
+    /// Store word.
+    Sw,
+}
+
+/// ALU operations shared by register and immediate forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (subtraction in the register form with the sub bit).
+    Add,
+    /// Subtraction (register form only).
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// Exclusive or.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Inclusive or.
+    Or,
+    /// And.
+    And,
+}
+
+/// M-extension operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of signed × signed.
+    Mulh,
+    /// High 32 bits of signed × unsigned.
+    Mulhsu,
+    /// High 32 bits of unsigned × unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// CSR access operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// Atomic read/write.
+    Rw,
+    /// Atomic read and set bits.
+    Rs,
+    /// Atomic read and clear bits.
+    Rc,
+}
+
+/// Source operand of a CSR instruction: a register or a 5-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrSrc {
+    /// Register form (`csrrw` etc.).
+    Reg(Reg),
+    /// Immediate form (`csrrwi` etc.).
+    Imm(u8),
+}
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The 32-bit word does not encode a supported instruction.
+    Illegal(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Illegal(word) => write!(f, "illegal instruction 0x{word:08x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Illegal`] for any unsupported encoding.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_riscv::{decode, Instr, Reg};
+/// // addi a0, zero, 42
+/// let instr = decode(0x02a0_0513).unwrap();
+/// assert!(matches!(instr, Instr::OpImm { imm: 42, .. }));
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = bits(word, 6, 0);
+    let rd = Reg(bits(word, 11, 7) as u8);
+    let funct3 = bits(word, 14, 12);
+    let rs1 = Reg(bits(word, 19, 15) as u8);
+    let rs2 = Reg(bits(word, 24, 20) as u8);
+    let funct7 = bits(word, 31, 25);
+
+    let i_imm = sext(bits(word, 31, 20), 12);
+    let s_imm = sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12);
+    let b_imm = sext(
+        (bits(word, 31, 31) << 12)
+            | (bits(word, 7, 7) << 11)
+            | (bits(word, 30, 25) << 5)
+            | (bits(word, 11, 8) << 1),
+        13,
+    );
+    let u_imm = sext(bits(word, 31, 12), 20);
+    let j_imm = sext(
+        (bits(word, 31, 31) << 20)
+            | (bits(word, 19, 12) << 12)
+            | (bits(word, 20, 20) << 11)
+            | (bits(word, 30, 21) << 1),
+        21,
+    );
+
+    let illegal = DecodeError::Illegal(word);
+    Ok(match opcode {
+        0b0110111 => Instr::Lui { rd, imm: u_imm },
+        0b0010111 => Instr::Auipc { rd, imm: u_imm },
+        0b1101111 => Instr::Jal { rd, imm: j_imm },
+        0b1100111 => {
+            if funct3 != 0 {
+                return Err(illegal);
+            }
+            Instr::Jalr { rd, rs1, imm: i_imm }
+        }
+        0b1100011 => {
+            let op = match funct3 {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return Err(illegal),
+            };
+            Instr::Branch { op, rs1, rs2, imm: b_imm }
+        }
+        0b0000011 => {
+            let op = match funct3 {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return Err(illegal),
+            };
+            Instr::Load { op, rd, rs1, imm: i_imm }
+        }
+        0b0100011 => {
+            let op = match funct3 {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return Err(illegal),
+            };
+            Instr::Store { op, rs1, rs2, imm: s_imm }
+        }
+        0b0010011 => {
+            let (op, imm) = match funct3 {
+                0b000 => (AluOp::Add, i_imm),
+                0b010 => (AluOp::Slt, i_imm),
+                0b011 => (AluOp::Sltu, i_imm),
+                0b100 => (AluOp::Xor, i_imm),
+                0b110 => (AluOp::Or, i_imm),
+                0b111 => (AluOp::And, i_imm),
+                0b001 => {
+                    if funct7 != 0 {
+                        return Err(illegal);
+                    }
+                    (AluOp::Sll, rs2.0 as i32)
+                }
+                0b101 => match funct7 {
+                    0b0000000 => (AluOp::Srl, rs2.0 as i32),
+                    0b0100000 => (AluOp::Sra, rs2.0 as i32),
+                    _ => return Err(illegal),
+                },
+                _ => return Err(illegal),
+            };
+            Instr::OpImm { op, rd, rs1, imm }
+        }
+        0b0110011 => {
+            if funct7 == 0b0000001 {
+                let op = match funct3 {
+                    0b000 => MulOp::Mul,
+                    0b001 => MulOp::Mulh,
+                    0b010 => MulOp::Mulhsu,
+                    0b011 => MulOp::Mulhu,
+                    0b100 => MulOp::Div,
+                    0b101 => MulOp::Divu,
+                    0b110 => MulOp::Rem,
+                    0b111 => MulOp::Remu,
+                    _ => return Err(illegal),
+                };
+                Instr::MulDiv { op, rd, rs1, rs2 }
+            } else {
+                let op = match (funct3, funct7) {
+                    (0b000, 0b0000000) => AluOp::Add,
+                    (0b000, 0b0100000) => AluOp::Sub,
+                    (0b001, 0b0000000) => AluOp::Sll,
+                    (0b010, 0b0000000) => AluOp::Slt,
+                    (0b011, 0b0000000) => AluOp::Sltu,
+                    (0b100, 0b0000000) => AluOp::Xor,
+                    (0b101, 0b0000000) => AluOp::Srl,
+                    (0b101, 0b0100000) => AluOp::Sra,
+                    (0b110, 0b0000000) => AluOp::Or,
+                    (0b111, 0b0000000) => AluOp::And,
+                    _ => return Err(illegal),
+                };
+                Instr::Op { op, rd, rs1, rs2 }
+            }
+        }
+        0b0001111 => Instr::Fence,
+        0b1110011 => match funct3 {
+            0b000 => match word {
+                0x0000_0073 => Instr::Ecall,
+                0x0010_0073 => Instr::Ebreak,
+                0x3020_0073 => Instr::Mret,
+                0x1050_0073 => Instr::Wfi,
+                _ => return Err(illegal),
+            },
+            0b001 | 0b010 | 0b011 | 0b101 | 0b110 | 0b111 => {
+                let csr = bits(word, 31, 20) as u16;
+                let op = match funct3 & 0b011 {
+                    0b001 => CsrOp::Rw,
+                    0b010 => CsrOp::Rs,
+                    0b011 => CsrOp::Rc,
+                    _ => return Err(illegal),
+                };
+                let src = if funct3 & 0b100 != 0 {
+                    CsrSrc::Imm(rs1.0)
+                } else {
+                    CsrSrc::Reg(rs1)
+                };
+                Instr::Csr { op, rd, csr, src }
+            }
+            _ => return Err(illegal),
+        },
+        _ => return Err(illegal),
+    })
+}
+
+/// Encodes an instruction back to its 32-bit word.
+///
+/// `encode` and [`decode`] are inverses for every representable instruction,
+/// a property the test suite checks exhaustively with proptest.
+///
+/// # Panics
+///
+/// Panics if an immediate is out of range for its encoding (the assembler
+/// checks ranges before calling).
+pub fn encode(instr: Instr) -> u32 {
+    fn u_type(opcode: u32, rd: Reg, imm: i32) -> u32 {
+        assert!((-(1 << 19)..(1 << 19)).contains(&imm), "U-imm out of range");
+        ((imm as u32) << 12) | ((rd.0 as u32) << 7) | opcode
+    }
+    fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        assert!((-2048..2048).contains(&imm), "I-imm out of range: {imm}");
+        ((imm as u32 & 0xfff) << 20)
+            | ((rs1.0 as u32) << 15)
+            | (funct3 << 12)
+            | ((rd.0 as u32) << 7)
+            | opcode
+    }
+    fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+        assert!((-2048..2048).contains(&imm), "S-imm out of range: {imm}");
+        let imm = imm as u32 & 0xfff;
+        ((imm >> 5) << 25)
+            | ((rs2.0 as u32) << 20)
+            | ((rs1.0 as u32) << 15)
+            | (funct3 << 12)
+            | ((imm & 0x1f) << 7)
+            | opcode
+    }
+    fn b_type(funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+        assert!(
+            (-4096..4096).contains(&imm) && imm % 2 == 0,
+            "B-imm out of range or misaligned: {imm}"
+        );
+        let imm = imm as u32 & 0x1fff;
+        (((imm >> 12) & 1) << 31)
+            | (((imm >> 5) & 0x3f) << 25)
+            | ((rs2.0 as u32) << 20)
+            | ((rs1.0 as u32) << 15)
+            | (funct3 << 12)
+            | (((imm >> 1) & 0xf) << 8)
+            | (((imm >> 11) & 1) << 7)
+            | 0b1100011
+    }
+    fn r_type(funct7: u32, funct3: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        (funct7 << 25)
+            | ((rs2.0 as u32) << 20)
+            | ((rs1.0 as u32) << 15)
+            | (funct3 << 12)
+            | ((rd.0 as u32) << 7)
+            | 0b0110011
+    }
+
+    match instr {
+        Instr::Lui { rd, imm } => u_type(0b0110111, rd, imm),
+        Instr::Auipc { rd, imm } => u_type(0b0010111, rd, imm),
+        Instr::Jal { rd, imm } => {
+            assert!(
+                (-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0,
+                "J-imm out of range or misaligned: {imm}"
+            );
+            let imm = imm as u32 & 0x1f_ffff;
+            (((imm >> 20) & 1) << 31)
+                | (((imm >> 1) & 0x3ff) << 21)
+                | (((imm >> 11) & 1) << 20)
+                | (((imm >> 12) & 0xff) << 12)
+                | ((rd.0 as u32) << 7)
+                | 0b1101111
+        }
+        Instr::Jalr { rd, rs1, imm } => i_type(0b1100111, 0, rd, rs1, imm),
+        Instr::Branch { op, rs1, rs2, imm } => {
+            let funct3 = match op {
+                BranchOp::Eq => 0b000,
+                BranchOp::Ne => 0b001,
+                BranchOp::Lt => 0b100,
+                BranchOp::Ge => 0b101,
+                BranchOp::Ltu => 0b110,
+                BranchOp::Geu => 0b111,
+            };
+            b_type(funct3, rs1, rs2, imm)
+        }
+        Instr::Load { op, rd, rs1, imm } => {
+            let funct3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+            };
+            i_type(0b0000011, funct3, rd, rs1, imm)
+        }
+        Instr::Store { op, rs1, rs2, imm } => {
+            let funct3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+            };
+            s_type(0b0100011, funct3, rs1, rs2, imm)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => match op {
+            AluOp::Add => i_type(0b0010011, 0b000, rd, rs1, imm),
+            AluOp::Slt => i_type(0b0010011, 0b010, rd, rs1, imm),
+            AluOp::Sltu => i_type(0b0010011, 0b011, rd, rs1, imm),
+            AluOp::Xor => i_type(0b0010011, 0b100, rd, rs1, imm),
+            AluOp::Or => i_type(0b0010011, 0b110, rd, rs1, imm),
+            AluOp::And => i_type(0b0010011, 0b111, rd, rs1, imm),
+            AluOp::Sll => {
+                assert!((0..32).contains(&imm), "shift amount out of range");
+                i_type(0b0010011, 0b001, rd, rs1, imm)
+            }
+            AluOp::Srl => {
+                assert!((0..32).contains(&imm), "shift amount out of range");
+                i_type(0b0010011, 0b101, rd, rs1, imm)
+            }
+            AluOp::Sra => {
+                assert!((0..32).contains(&imm), "shift amount out of range");
+                i_type(0b0010011, 0b101, rd, rs1, imm | 0x400)
+            }
+            AluOp::Sub => panic!("subi does not exist; negate the immediate"),
+        },
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = match op {
+                AluOp::Add => (0b000, 0b0000000),
+                AluOp::Sub => (0b000, 0b0100000),
+                AluOp::Sll => (0b001, 0b0000000),
+                AluOp::Slt => (0b010, 0b0000000),
+                AluOp::Sltu => (0b011, 0b0000000),
+                AluOp::Xor => (0b100, 0b0000000),
+                AluOp::Srl => (0b101, 0b0000000),
+                AluOp::Sra => (0b101, 0b0100000),
+                AluOp::Or => (0b110, 0b0000000),
+                AluOp::And => (0b111, 0b0000000),
+            };
+            r_type(funct7, funct3, rd, rs1, rs2)
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            let funct3 = match op {
+                MulOp::Mul => 0b000,
+                MulOp::Mulh => 0b001,
+                MulOp::Mulhsu => 0b010,
+                MulOp::Mulhu => 0b011,
+                MulOp::Div => 0b100,
+                MulOp::Divu => 0b101,
+                MulOp::Rem => 0b110,
+                MulOp::Remu => 0b111,
+            };
+            r_type(0b0000001, funct3, rd, rs1, rs2)
+        }
+        Instr::Fence => 0x0000_000f,
+        Instr::Ecall => 0x0000_0073,
+        Instr::Ebreak => 0x0010_0073,
+        Instr::Mret => 0x3020_0073,
+        Instr::Wfi => 0x1050_0073,
+        Instr::Csr { op, rd, csr, src } => {
+            let base = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            let (funct3, rs1_field) = match src {
+                CsrSrc::Reg(r) => (base, r.0 as u32),
+                CsrSrc::Imm(v) => {
+                    assert!(v < 32, "CSR immediate out of range");
+                    (base | 0b100, v as u32)
+                }
+            };
+            ((csr as u32) << 20)
+                | (rs1_field << 15)
+                | (funct3 << 12)
+                | ((rd.0 as u32) << 7)
+                | 0b1110011
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_known_words() {
+        // addi a0, zero, 42
+        assert_eq!(
+            decode(0x02a0_0513).unwrap(),
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg(10),
+                rs1: Reg(0),
+                imm: 42
+            }
+        );
+        // lui t0, 0x12345
+        assert_eq!(
+            decode(0x1234_52b7).unwrap(),
+            Instr::Lui {
+                rd: Reg(5),
+                imm: 0x12345
+            }
+        );
+        // sw a1, 8(sp)
+        assert_eq!(
+            decode(0x00b1_2423).unwrap(),
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: Reg(2),
+                rs2: Reg(11),
+                imm: 8
+            }
+        );
+        // beq a0, a1, +16
+        let word = encode(Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: Reg(10),
+            rs2: Reg(11),
+            imm: 16,
+        });
+        assert_eq!(decode(word).unwrap(), Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: Reg(10),
+            rs2: Reg(11),
+            imm: 16,
+        });
+    }
+
+    #[test]
+    fn encode_decode_round_trip_samples() {
+        let samples = [
+            Instr::Lui { rd: Reg(1), imm: -1 },
+            Instr::Auipc { rd: Reg(31), imm: 0x7ffff },
+            Instr::Jal { rd: Reg(1), imm: -2048 },
+            Instr::Jalr { rd: Reg(0), rs1: Reg(1), imm: 0 },
+            Instr::Branch { op: BranchOp::Geu, rs1: Reg(4), rs2: Reg(9), imm: -4096 },
+            Instr::Load { op: LoadOp::Lbu, rd: Reg(7), rs1: Reg(8), imm: 2047 },
+            Instr::Store { op: StoreOp::Sh, rs1: Reg(3), rs2: Reg(2), imm: -2048 },
+            Instr::OpImm { op: AluOp::Sra, rd: Reg(5), rs1: Reg(5), imm: 31 },
+            Instr::Op { op: AluOp::Sub, rd: Reg(10), rs1: Reg(11), rs2: Reg(12) },
+            Instr::MulDiv { op: MulOp::Remu, rd: Reg(13), rs1: Reg(14), rs2: Reg(15) },
+            Instr::Ecall,
+            Instr::Ebreak,
+            Instr::Mret,
+            Instr::Wfi,
+            Instr::Csr { op: CsrOp::Rs, rd: Reg(6), csr: 0x342, src: CsrSrc::Imm(5) },
+            Instr::Csr { op: CsrOp::Rw, rd: Reg(0), csr: 0x305, src: CsrSrc::Reg(Reg(7)) },
+        ];
+        for instr in samples {
+            assert_eq!(decode(encode(instr)).unwrap(), instr, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn illegal_words_are_rejected() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_007f).is_err());
+    }
+
+    #[test]
+    fn reg_parse_and_display() {
+        assert_eq!(Reg::parse("a0"), Some(Reg(10)));
+        assert_eq!(Reg::parse("x31"), Some(Reg(31)));
+        assert_eq!(Reg::parse("fp"), Some(Reg(8)));
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("bogus"), None);
+        assert_eq!(Reg(10).to_string(), "a0");
+    }
+}

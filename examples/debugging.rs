@@ -1,0 +1,102 @@
+//! Software-like debuggability (§3.4, A.7): status registers, the 64-bit
+//! debug channel, poke interrupts, breakpoints (`ebreak`), memory dumps,
+//! and disassembly of a halted RPU.
+//!
+//! Run with: `cargo run --release --example debugging`
+
+use rosebud::core::{Harness, MemRegion, Rosebud, RosebudConfig, RoundRobinLb, RpuProgram};
+use rosebud::net::FixedSizeGen;
+use rosebud::riscv::{assemble, disassemble_image, Reg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Firmware that counts packets into its status register, reports the
+    // running count on the debug channel, and — on a host poke interrupt —
+    // stops at a breakpoint for inspection.
+    let firmware = assemble(
+        "
+        .equ IO, 0x02000000
+            li t0, IO
+            li t2, 0x01000000
+            li s0, 0                 # packet counter
+            # take poke interrupts (line 5): set mtvec + mie + mstatus.MIE
+            li t3, on_poke
+            csrw mtvec, t3
+            li t3, 0x20
+            csrw mie, t3
+            sw t3, 0x2c(t0)          # unmask poke in the interconnect
+            csrsi mstatus, 8
+        poll:
+            lw a0, 0x00(t0)
+            beqz a0, poll
+            lw a1, 0x04(t0)
+            lw a2, 0x08(t0)
+            sw zero, 0x0c(t0)
+            addi s0, s0, 1
+            sw s0, 0x18(t0)          # STATUS = packets handled (host-visible)
+            sw s0, 0x1c(t0)          # DEBUG_OUT_L
+            sw zero, 0x20(t0)        # DEBUG_OUT_H commits the 64-bit value
+            xor a1, a1, t2
+            sw a1, 0x10(t0)
+            sw a2, 0x14(t0)
+            j poll
+        on_poke:
+            ebreak                   # park for the host debugger
+        ",
+    )?;
+
+    let sys = Rosebud::builder(RosebudConfig::with_rpus(4))
+        .load_balancer(Box::new(RoundRobinLb::new()))
+        .firmware(move |_| RpuProgram::Riscv(firmware.clone()))
+        .build()?;
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 10.0);
+    h.run(30_000);
+
+    // 1. Status registers: per-RPU progress at a glance.
+    println!("status registers (packets handled per RPU):");
+    for r in 0..4 {
+        println!("  RPU {r}: {}", h.sys.rpu_status(r));
+    }
+
+    // 2. The 64-bit debug channel.
+    if let Some(value) = h.sys.take_debug(0) {
+        println!("debug channel from RPU 0: {value:#x}");
+    }
+
+    // 3. Poke RPU 2: its interrupt handler hits `ebreak` and the core halts
+    //    — the paper's breakpoint behaviour.
+    h.sys.poke(2);
+    h.run(100);
+    let rpu2 = &h.sys.rpus()[2];
+    println!("\nafter poke: RPU 2 halted = {}", rpu2.is_halted());
+    if let Some(cpu) = rpu2.cpu() {
+        println!(
+            "  pc = {:#010x}, s0 (packet count) = {}",
+            cpu.pc(),
+            cpu.reg(Reg::parse("s0").unwrap())
+        );
+    }
+
+    // 4. Dump and disassemble the halted RPU's instruction memory.
+    let imem = h.sys.read_rpu_mem(2, MemRegion::Imem, 0, 64);
+    let words: Vec<u32> = imem
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    println!("\nfirst instructions of the halted RPU:");
+    for (addr, _, text) in disassemble_image(0, &words).into_iter().take(8) {
+        println!("  {addr:#06x}: {text}");
+    }
+
+    // 5. Dump a slice of packet memory: the host has full visibility.
+    let pmem = h.sys.read_rpu_mem(2, MemRegion::Pmem, 0x0f0000, 32);
+    println!("\npacket-memory dump @0x0f0000: {:02x?}", &pmem[..16]);
+
+    // Traffic continues on the other RPUs while RPU 2 is parked.
+    let before = h.received();
+    h.run(10_000);
+    println!(
+        "\nwhile RPU 2 is parked, the rest forwarded {} more packets",
+        h.received() - before
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! The §7.1 case study: the Pigasus IDS/IPS ported to Rosebud.
+//!
+//! Compiles a rule set into the string/port-matching engine model, builds
+//! both reordering configurations (hardware-assisted and software-on-
+//! RISC-V), runs mixed attack/safe traffic, and shows that matched packets
+//! arrive at the host with their rule IDs appended — the paper's IPS
+//! data flow where "the FPGA filters non-attack traffic coming in at
+//! line-rate, and the CPU only deals with attack traffic".
+//!
+//! Run with: `cargo run --release --example ids`
+
+use rosebud::apps::pigasus::{build_pigasus_system, ReorderMode};
+use rosebud::apps::rules::{parse_rules, synthetic_rules};
+use rosebud::core::Harness;
+use rosebud::net::{AttackMixGen, FlowTrafficGen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A few hand-written Snort-style rules plus a synthetic batch.
+    let mut rules = parse_rules(
+        r#"
+        alert tcp any any -> any 80 (msg:"path traversal"; content:"../../etc/passwd"; sid:9001;)
+        alert tcp any any -> any any (msg:"beacon"; content:"|de ad be ef|C2"; sid:9002;)
+        alert tcp any 6666 -> any any (msg:"botnet src"; content:"JOIN #"; sid:9003;)
+        "#,
+    )?;
+    rules.extend(synthetic_rules(125, 17));
+
+    for mode in [ReorderMode::Hardware, ReorderMode::Software] {
+        let sys = build_pigasus_system(mode, rules.clone())?;
+        println!(
+            "\n=== {mode:?} reordering: 8 RPUs x 16 engines, {} rules, LB = {} ===",
+            rules.len(),
+            sys.lb_name()
+        );
+
+        // 1 % attack traffic at 0.3 % TCP reordering, 800-byte packets —
+        // the paper's headline operating point.
+        let payloads: Vec<Vec<u8>> = rules.iter().map(|r| r.pattern.clone()).collect();
+        let base = FlowTrafficGen::new(4096, 800, 0.003, 23);
+        let gen = AttackMixGen::new(base, 0.01, payloads, 29);
+        let mut h = Harness::new(sys, Box::new(gen), 205.0).keep_output(true);
+        h.run(60_000);
+        h.begin_window();
+        h.run(150_000);
+        let m = h.measure();
+        println!("absorbed {:.1} Gbps / {:.1} Mpps at 800 B", m.gbps, m.mpps);
+        println!(
+            "safe traffic forwarded: {} packets; flagged to host: {}",
+            h.received(),
+            h.host_received()
+        );
+
+        // Matched packets carry their rule id in the trailing word.
+        let flagged: Vec<_> = h
+            .take_collected()
+            .into_iter()
+            .filter(|p| p.port == rosebud::core::port::HOST)
+            .take(3)
+            .collect();
+        for pkt in flagged {
+            let tail = &pkt.bytes()[pkt.bytes().len() - 4..];
+            let sid = u32::from_le_bytes(tail.try_into().unwrap());
+            if rules.iter().any(|r| r.id == sid) {
+                println!("  host packet {}: {} bytes, matched sid {}", pkt.id, pkt.len(), sid);
+            } else {
+                // Software reordering punts hash collisions and reorder-
+                // buffer overflow to the host unprocessed (§7.1.2).
+                println!("  host packet {}: {} bytes, punted unprocessed", pkt.id, pkt.len());
+            }
+        }
+    }
+    println!("\npaper: ~200 Gbps (HW reorder) and ~100 Gbps (SW reorder) at 800 B (Fig. 8a)");
+    Ok(())
+}

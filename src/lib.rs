@@ -1,0 +1,34 @@
+//! # Rosebud (Rust reproduction)
+//!
+//! A cycle-level reproduction of **"Rosebud: Making FPGA-Accelerated
+//! Middlebox Development More Pleasant"** (ASPLOS 2023): the RPU abstraction,
+//! load-balanced packet distribution, inter-RPU messaging, host-side control
+//! and debugging, and the paper's two case studies (the ported Pigasus IDS
+//! and a blacklist firewall), all running against a simulated 250 MHz FPGA
+//! substrate with an RV32IM instruction-set simulator standing in for the
+//! VexRiscv cores.
+//!
+//! This umbrella crate re-exports the workspace crates under stable module
+//! names:
+//!
+//! * [`kernel`] — simulation substrate (clock, FIFOs, links, counters),
+//! * [`net`] — packets, headers, traffic generation,
+//! * [`riscv`] — the RV32IM ISS and assembler,
+//! * [`accel`] — accelerator models (Pigasus MPSE, firewall matcher),
+//! * [`core`] — the Rosebud framework itself,
+//! * [`apps`] — the case studies and the Snort CPU baseline.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for a complete forwarding middlebox in a few
+//! lines; `examples/firewall.rs` and `examples/ids.rs` reproduce the paper's
+//! case studies.
+
+#![forbid(unsafe_code)]
+
+pub use rosebud_accel as accel;
+pub use rosebud_apps as apps;
+pub use rosebud_core as core;
+pub use rosebud_kernel as kernel;
+pub use rosebud_net as net;
+pub use rosebud_riscv as riscv;

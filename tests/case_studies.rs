@@ -1,0 +1,131 @@
+//! Functional correctness of the two case studies: the firewall drops
+//! exactly the blacklist (§7.2) and the IDS flags exactly the rule-matching
+//! packets (§7.1), verified against recomputed ground truth.
+
+use rosebud::accel::RuleSet;
+use rosebud::apps::firewall::{
+    build_firewall_system, expected_drops, firewall_trace, synthetic_blacklist, NoopGen,
+};
+use rosebud::apps::pigasus::{build_pigasus_system_with, ReorderMode};
+use rosebud::apps::rules::{attack_trace, synthetic_rules};
+use rosebud::core::Harness;
+use rosebud::net::{FlowTrafficGen, Trace, TrafficGen};
+
+fn inject_trace(h: &mut Harness, trace: &Trace, gap: u64) {
+    for pkt in trace {
+        let mut p = pkt.clone();
+        loop {
+            match h.sys.inject(p) {
+                Ok(()) => break,
+                Err(back) => {
+                    p = back;
+                    h.tick();
+                }
+            }
+        }
+        h.run(gap);
+    }
+}
+
+#[test]
+fn firewall_verdicts_match_ground_truth_exactly() {
+    let blacklist = synthetic_blacklist(1050, 7);
+    let sys = build_firewall_system(16, &blacklist).unwrap();
+    let trace = firewall_trace(&blacklist, 4, 256);
+    let expected = expected_drops(&trace, &blacklist);
+    let mut h = Harness::new(sys, Box::new(NoopGen), 0.0);
+    inject_trace(&mut h, &trace, 1);
+    h.run(40_000);
+    assert_eq!(h.sys.drop_count() as usize, expected);
+    assert_eq!(h.received() as usize, trace.len() - expected);
+}
+
+#[test]
+fn firewall_never_drops_clean_traffic() {
+    let blacklist = synthetic_blacklist(300, 11);
+    let sys = build_firewall_system(8, &blacklist).unwrap();
+    // Flow traffic sources from 10.x which the synthetic blacklist may hit;
+    // filter the trace to provably-clean packets first.
+    let mut gen = FlowTrafficGen::new(64, 300, 0.0, 13);
+    let matcher = rosebud::accel::FirewallMatcher::from_prefixes(&blacklist);
+    let trace: Trace = (0..500u64)
+        .map(|i| gen.generate(i, 0))
+        .filter(|p| {
+            p.ipv4()
+                .map(|ip| !matcher.is_blacklisted(ip.src_u32()))
+                .unwrap_or(false)
+        })
+        .collect();
+    let total = trace.len();
+    let mut h = Harness::new(sys, Box::new(NoopGen), 0.0);
+    inject_trace(&mut h, &trace, 1);
+    h.run(40_000);
+    assert_eq!(h.sys.drop_count(), 0);
+    assert_eq!(h.received() as usize, total);
+}
+
+#[test]
+fn ids_flags_exactly_the_attack_packets() {
+    let rules = synthetic_rules(64, 17);
+    let sys = build_pigasus_system_with(ReorderMode::Hardware, rules.clone(), 8, 16).unwrap();
+    let attacks = attack_trace(&rules, 512);
+    // Ground truth via the compiled rule set itself.
+    let compiled = RuleSet::compile(rules);
+    let expected_flagged = attacks
+        .iter()
+        .filter(|p| {
+            let tcp = p.tcp().unwrap();
+            !compiled
+                .matches(p.payload().unwrap(), tcp.src_port, tcp.dst_port)
+                .is_empty()
+        })
+        .count();
+    assert_eq!(expected_flagged, attacks.len());
+
+    let mut h = Harness::new(sys, Box::new(NoopGen), 0.0);
+    inject_trace(&mut h, &attacks, 4);
+    h.run(60_000);
+    assert_eq!(
+        h.host_received() as usize,
+        attacks.len(),
+        "every attack packet must reach the host"
+    );
+    assert_eq!(h.received(), 0, "no attack leaks out a physical port");
+}
+
+#[test]
+fn ids_passes_clean_traffic_untouched() {
+    let rules = synthetic_rules(64, 19);
+    let sys = build_pigasus_system_with(ReorderMode::Hardware, rules, 8, 16).unwrap();
+    let mut gen = FlowTrafficGen::new(32, 400, 0.0, 21);
+    let trace: Trace = (0..400u64).map(|i| gen.generate(i, 0)).collect();
+    let total = trace.len();
+    let mut h = Harness::new(sys, Box::new(NoopGen), 0.0);
+    inject_trace(&mut h, &trace, 2);
+    h.run(60_000);
+    assert_eq!(h.host_received(), 0, "clean traffic must not be flagged");
+    assert_eq!(h.received() as usize, total);
+}
+
+#[test]
+fn sw_reorder_ids_matches_despite_reordering() {
+    // With software reordering enabled and genuinely reordered input, every
+    // attack packet is still flagged (the flow table restores order before
+    // matching) and clean traffic still flows.
+    let rules = synthetic_rules(32, 23);
+    let sys = build_pigasus_system_with(ReorderMode::Software, rules.clone(), 8, 16).unwrap();
+    let base = FlowTrafficGen::new(64, 600, 0.05, 31);
+    let payloads: Vec<Vec<u8>> = rules.iter().map(|r| r.pattern.clone()).collect();
+    let gen = rosebud::net::AttackMixGen::new(base, 0.05, payloads, 37);
+    let mut h = Harness::new(sys, Box::new(gen), 20.0);
+    h.run(200_000);
+    assert!(h.received() > 1_000, "clean traffic flows");
+    assert!(h.host_received() > 20, "attacks are flagged");
+    // Attack fraction sanity: ~5% of traffic should reach the host (matched
+    // or punted), not 0% and not half.
+    let frac = h.host_received() as f64 / (h.received() + h.host_received()) as f64;
+    assert!(
+        (0.02..0.15).contains(&frac),
+        "host fraction {frac:.3} out of range"
+    );
+}

@@ -1,0 +1,171 @@
+//! The host's view of a running system (§3.4, §4.2–4.3, Appendix A):
+//! LB register channel, counters, debug channel, poke/breakpoint, memory
+//! access, and partial reconfiguration.
+
+use rosebud::apps::forwarder::build_forwarding_system;
+use rosebud::core::{lb_regs, Harness, MemRegion, RpuProgram, RpuState};
+use rosebud::net::FixedSizeGen;
+use rosebud::riscv::assemble;
+
+#[test]
+fn lb_channel_reads_enable_mask_and_slot_counts() {
+    let mut sys = build_forwarding_system(8).unwrap();
+    assert_eq!(sys.lb_host_read(lb_regs::ENABLE_LO), 0xff);
+    for r in 0..8 {
+        assert_eq!(
+            sys.lb_host_read(lb_regs::SLOTS_BASE + r),
+            sys.config().slots_per_rpu as u32
+        );
+    }
+    // Disable RPUs 0–3 and check traffic avoids them.
+    sys.lb_host_write(lb_regs::ENABLE_LO, 0xf0);
+    assert_eq!(sys.enabled_mask(), 0xf0);
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 20.0);
+    h.run(30_000);
+    for r in 0..4 {
+        assert_eq!(
+            h.sys.rpu_counters(r).rx_frames,
+            0,
+            "disabled RPU {r} received traffic"
+        );
+    }
+    for r in 4..8 {
+        assert!(h.sys.rpu_counters(r).rx_frames > 0, "enabled RPU {r} idle");
+    }
+}
+
+#[test]
+fn flush_register_restores_slots() {
+    let mut sys = build_forwarding_system(4).unwrap();
+    // Simulate a stuck RPU by disabling it mid-traffic and flushing.
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 20.0);
+    h.run(10_000);
+    h.sys.lb_host_write(lb_regs::ENABLE_LO, 0b1110);
+    h.run(5_000);
+    h.sys.lb_host_write(lb_regs::FLUSH_RPU, 0);
+    assert_eq!(
+        h.sys.lb_host_read(lb_regs::SLOTS_BASE),
+        h.sys.config().slots_per_rpu as u32
+    );
+    sys = h.sys;
+    let _ = &mut sys;
+}
+
+#[test]
+fn port_counters_track_traffic() {
+    let sys = build_forwarding_system(4).unwrap();
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(500, 2)), 10.0);
+    h.run(30_000);
+    for p in 0..2 {
+        let c = h.sys.port_counters(p);
+        assert!(c.rx_frames > 0, "port {p} rx");
+        assert!(c.tx_frames > 0, "port {p} tx");
+        assert_eq!(c.rx_bytes, c.rx_frames * 500);
+    }
+}
+
+#[test]
+fn debug_channel_round_trip() {
+    // Firmware that echoes the host debug word plus one.
+    let image = assemble(
+        "
+        .equ IO, 0x02000000
+            li t0, IO
+        loop:
+            lw a0, 0x30(t0)      # HOST_IN_L
+            beqz a0, loop
+            addi a0, a0, 1
+            sw a0, 0x1c(t0)      # DEBUG_OUT_L
+            sw zero, 0x20(t0)    # DEBUG_OUT_H commits
+            ebreak
+        ",
+    )
+    .unwrap();
+    let mut sys = rosebud::core::Rosebud::builder(rosebud::core::RosebudConfig::with_rpus(2))
+        .firmware(move |_| RpuProgram::Riscv(image.clone()))
+        .build()
+        .unwrap();
+    sys.write_debug(0, 41);
+    sys.run(200);
+    assert_eq!(sys.take_debug(0), Some(42));
+    assert_eq!(sys.take_debug(0), None, "debug values are take-once");
+}
+
+#[test]
+fn poke_interrupt_is_maskable() {
+    // Firmware with poke masked out: the poke must not disturb it.
+    let image = assemble(
+        "
+        .equ IO, 0x02000000
+            li t0, IO
+            sw zero, 0x2c(t0)    # masks = 0: everything masked
+            li s0, 123
+        spin:
+            sw s0, 0x18(t0)
+            j spin
+        ",
+    )
+    .unwrap();
+    let mut sys = rosebud::core::Rosebud::builder(rosebud::core::RosebudConfig::with_rpus(2))
+        .firmware(move |_| RpuProgram::Riscv(image.clone()))
+        .build()
+        .unwrap();
+    sys.run(100);
+    sys.poke(0);
+    sys.run(100);
+    assert!(!sys.rpus()[0].is_halted(), "masked poke must be ignored");
+    assert_eq!(sys.rpu_status(0), 123);
+}
+
+#[test]
+fn memory_write_and_read_back() {
+    let mut sys = build_forwarding_system(2).unwrap();
+    let table = [0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04];
+    // Load a lookup table into packet memory before traffic (A.6).
+    sys.write_rpu_mem(1, MemRegion::Pmem, 0x100, &table);
+    assert_eq!(sys.read_rpu_mem(1, MemRegion::Pmem, 0x100, 8), table);
+    // And into dmem.
+    sys.write_rpu_mem(1, MemRegion::Dmem, 0x40, &table[..4]);
+    assert_eq!(sys.read_rpu_mem(1, MemRegion::Dmem, 0x40, 4), table[..4]);
+}
+
+#[test]
+fn reconfiguration_lifecycle_states() {
+    let sys = build_forwarding_system(4).unwrap();
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 20.0);
+    h.run(20_000);
+    h.sys.reconfigure_rpu(2, None, None);
+    assert!(h.sys.reconfigure_pending(2));
+    assert_eq!(h.sys.enabled_mask() & (1 << 2), 0, "LB stops feeding RPU 2");
+    // Drain → write → boot.
+    let mut saw_writing = false;
+    for _ in 0..100_000 {
+        h.tick();
+        if matches!(h.sys.rpus()[2].state(), RpuState::Reconfiguring { .. }) {
+            saw_writing = true;
+        }
+        if !h.sys.reconfigure_pending(2) {
+            break;
+        }
+    }
+    assert!(saw_writing, "never entered the PR-writing phase");
+    assert!(!h.sys.reconfigure_pending(2));
+    assert_eq!(h.sys.rpus()[2].state(), RpuState::Running);
+    assert!(h.sys.enabled_mask() & (1 << 2) != 0, "LB resumed");
+    // The rebooted RPU processes traffic again.
+    let before = h.sys.rpu_counters(2).rx_frames;
+    h.run(20_000);
+    assert!(h.sys.rpu_counters(2).rx_frames > before);
+}
+
+#[test]
+fn no_packets_lost_during_live_reconfiguration() {
+    let sys = build_forwarding_system(16).unwrap();
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(512, 2)), 100.0);
+    h.run(40_000);
+    let drops_before = h.sys.drop_count();
+    h.sys.reconfigure_rpu(7, None, None);
+    h.run(80_000);
+    assert!(!h.sys.reconfigure_pending(7));
+    assert_eq!(h.sys.drop_count(), drops_before, "PR dropped packets");
+}

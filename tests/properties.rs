@@ -1,0 +1,77 @@
+//! System-level property tests: packet conservation and slot-accounting
+//! invariants hold under randomized traffic shapes, sizes and loads.
+
+use proptest::prelude::*;
+use rosebud::apps::forwarder::build_forwarding_system;
+use rosebud::core::Harness;
+use rosebud::net::{FixedSizeGen, FlowTrafficGen};
+
+proptest! {
+    // System runs are comparatively slow; a couple dozen random cases is a
+    // meaningful sweep without stretching the suite.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_under_random_fixed_size_traffic(
+        size in 64usize..2000,
+        gbps in 1.0f64..200.0,
+        rpus in prop_oneof![Just(4usize), Just(8), Just(16)],
+    ) {
+        let sys = build_forwarding_system(rpus).unwrap();
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(size, 2)), gbps);
+        h.run(30_000);
+        h.sys.run(30_000); // drain with no new traffic
+        for p in 0..2 {
+            let _ = h.sys.take_output(p);
+        }
+        prop_assert_eq!(h.sys.in_flight(), 0, "failed to drain");
+        prop_assert_eq!(h.sys.drop_count(), 0, "forwarder dropped");
+        // Every slot returned to the tracker.
+        for r in 0..rpus {
+            prop_assert!(
+                h.sys.tracker().all_free(r),
+                "RPU {} leaked slots", r
+            );
+        }
+    }
+
+    #[test]
+    fn conservation_under_random_flow_traffic(
+        flows in 1usize..128,
+        size in 70usize..1500,
+        reorder in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let sys = build_forwarding_system(8).unwrap();
+        let gen = FlowTrafficGen::new(flows, size, reorder, seed);
+        let mut h = Harness::new(sys, Box::new(gen), 60.0);
+        h.run(25_000);
+        let injected = h.injected();
+        h.sys.run(25_000);
+        let mut stragglers = 0u64;
+        for p in 0..2 {
+            stragglers += h.sys.take_output(p).len() as u64;
+        }
+        prop_assert_eq!(h.sys.in_flight(), 0);
+        prop_assert_eq!(h.received() + stragglers + h.host_received(), injected);
+    }
+
+    #[test]
+    fn rpu_counters_balance(
+        size in 64usize..1000,
+        seed in any::<u64>(),
+    ) {
+        let _ = seed;
+        let sys = build_forwarding_system(4).unwrap();
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(size, 2)), 30.0);
+        h.run(20_000);
+        h.sys.run(20_000);
+        for r in 0..4 {
+            let c = h.sys.rpu_counters(r);
+            prop_assert_eq!(
+                c.rx_frames, c.tx_frames,
+                "RPU {} rx/tx imbalance after drain", r
+            );
+        }
+    }
+}
