@@ -60,6 +60,61 @@ pub fn forwarder_image() -> Image {
     assemble(FORWARDER_ASM).expect("embedded forwarder must assemble")
 }
 
+/// Source of the supervised forwarder: the same hot loop as
+/// [`FORWARDER_ASM`], plus a one-shot watchdog pet at the top of every poll
+/// iteration (§3.4: "software on the RISC-V can detect the hang using
+/// internal timer interrupt"). Healthy firmware keeps pushing the deadline
+/// forward, so the watchdog never expires; wedged firmware stops petting and
+/// the expiration becomes a host-visible counter the supervisor polls.
+///
+/// `interval` is the watchdog deadline in cycles. It must comfortably
+/// exceed one poll iteration (a few cycles) but stay small enough that
+/// detection is prompt; 64 is a reasonable default.
+pub fn watchdog_forwarder_asm(interval: u32) -> String {
+    format!(
+        "
+        .equ IO, 0x02000000
+            li t0, IO
+            li t1, 0x00800000        # descriptor context array in dmem
+            li t2, 0x01000000        # XOR mask for the port field (bit 24)
+            li t5, {interval}        # watchdog deadline, re-armed per poll
+        poll:
+            sw t5, 0x40(t0)          # TIMER_CMP: pet the one-shot watchdog
+            lw a0, 0x00(t0)          # RECV_READY
+            beqz a0, poll
+            lw a1, 0x04(t0)          # RECV_DESC_LO
+            lw a2, 0x08(t0)          # RECV_DESC_DATA
+            sw a1, 0(t1)             # copy descriptor into context
+            sw a2, 4(t1)
+            sw zero, 0x0c(t0)        # RECV_RELEASE
+            xor a1, a1, t2           # swap egress port 0 <-> 1
+            sw a1, 0x10(t0)          # SEND_DESC_LO
+            sw a2, 0x14(t0)          # SEND_DESC_DATA (commit)
+            j poll
+        "
+    )
+}
+
+/// Builds the forwarding system with the watchdog-petting firmware of
+/// [`watchdog_forwarder_asm`] on every core — the configuration the
+/// self-healing supervisor expects, since hang detection rides on the
+/// watchdog expiration counter.
+///
+/// # Errors
+///
+/// Propagates configuration-validation errors from the builder.
+pub fn build_watchdog_forwarding_system(
+    rpus: usize,
+    interval: u32,
+) -> Result<Rosebud, String> {
+    let image = assemble(&watchdog_forwarder_asm(interval))
+        .expect("embedded watchdog forwarder must assemble");
+    Rosebud::builder(RosebudConfig::with_rpus(rpus))
+        .load_balancer(Box::new(RoundRobinLb::new()))
+        .firmware(move |_| RpuProgram::Riscv(image.clone()))
+        .build()
+}
+
 /// Builds the §6.1 forwarding system: `rpus` RPUs, round-robin LB, the
 /// 16-cycle forwarder on every core.
 ///
@@ -211,6 +266,21 @@ mod tests {
             // Generator alternates ports; the forwarder flips them, so both
             // ports appear in output but never unchanged id/port pairs.
             assert!(pkt.port < 2);
+        }
+    }
+
+    #[test]
+    fn watchdog_forwarder_pets_and_never_fires_when_healthy() {
+        let sys = build_watchdog_forwarding_system(4, 64).unwrap();
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(128, 2)), 5.0);
+        h.run(20_000);
+        assert!(h.received() > 10, "watchdog forwarder must still forward");
+        for r in 0..4 {
+            assert_eq!(
+                h.sys.rpus()[r].watchdog_fires(),
+                0,
+                "healthy firmware must keep petting the watchdog (RPU {r})"
+            );
         }
     }
 

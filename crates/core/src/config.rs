@@ -1,7 +1,5 @@
 //! System configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of a Rosebud instance, mirroring the build-time parameters
 /// of the paper's FPGA images (8- or 16-RPU layouts, §5).
 ///
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.rpu_link_bytes_per_cycle, 16); // 128-bit @ 250 MHz = 32 Gbps
 /// assert_eq!(cfg.gbps_per_port(), 100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RosebudConfig {
     /// Number of RPUs (the paper builds 8 and 16).
     pub num_rpus: usize,

@@ -5,7 +5,33 @@
 
 use rosebud_kernel::Counters;
 
+use crate::fault::Ledger;
+use crate::supervisor::RecoveryEvent;
 use crate::system::Rosebud;
+
+/// How an RPU is misbehaving (§3.4 distinguishes cores that *halted* — trap,
+/// `ebreak` — from cores that *hung* — wedged firmware the watchdog timer
+/// exists to catch — and both from firmware that runs but sheds packets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpuFaultKind {
+    /// The core trapped or hit `ebreak`: the halt flag is host-visible.
+    Halted,
+    /// The core stopped making forward progress with work outstanding —
+    /// inferred from a fired watchdog or a wedged region.
+    Hung,
+    /// The core is alive but dropping an outsized share of its traffic.
+    Dropping,
+}
+
+impl std::fmt::Display for RpuFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RpuFaultKind::Halted => "halted",
+            RpuFaultKind::Hung => "hung",
+            RpuFaultKind::Dropping => "dropping",
+        })
+    }
+}
 
 /// Where the diagnosis believes the system is limited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,10 +53,12 @@ pub enum Bottleneck {
         /// The overloaded RPU.
         rpu: usize,
     },
-    /// Firmware on some RPU is dropping or an RPU halted.
+    /// Firmware on some RPU halted, hung, or is dropping traffic.
     RpuFault {
         /// The misbehaving RPU.
         rpu: usize,
+        /// How it is misbehaving.
+        kind: RpuFaultKind,
     },
 }
 
@@ -49,6 +77,10 @@ pub struct Diagnostics {
     pub lb_stall_cycles: u64,
     /// Packets the LB has placed.
     pub lb_assigned: u64,
+    /// The packet-conservation ledger.
+    pub ledger: Ledger,
+    /// Completed fault recoveries, oldest first.
+    pub recoveries: Vec<RecoveryEvent>,
     /// The verdict.
     pub bottleneck: Bottleneck,
 }
@@ -74,6 +106,38 @@ impl Diagnostics {
                 c.rx_frames, c.tx_frames, c.drops, free
             );
         }
+        for ev in &self.recoveries {
+            let _ = writeln!(
+                out,
+                "recovery: RPU {} {} — detected @{} cycle(s){}, down {} cycles, \
+                 {} purged{}{}",
+                ev.rpu,
+                ev.kind,
+                ev.detected_at,
+                ev.detection_latency
+                    .map(|l| format!(" ({l} after fault)"))
+                    .unwrap_or_default(),
+                ev.downtime,
+                ev.packets_purged,
+                if ev.forced { ", forced eviction" } else { "" },
+                if ev.retries > 0 {
+                    format!(", {} host retries", ev.retries)
+                } else {
+                    String::new()
+                },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ledger: {} in / {} originated / {} out / {} dropped / {} \
+             quarantined / {} purged",
+            self.ledger.injected,
+            self.ledger.originated,
+            self.ledger.delivered,
+            self.ledger.dropped,
+            self.ledger.corrupted,
+            self.ledger.purged,
+        );
         let _ = writeln!(out, "bottleneck: {:?}", self.bottleneck);
         out
     }
@@ -97,6 +161,8 @@ impl Rosebud {
             free_slots,
             lb_stall_cycles: self.lb_stall_cycles(),
             lb_assigned: self.lb_assigned(),
+            ledger: self.ledger(),
+            recoveries: self.recovery_log().to_vec(),
             bottleneck,
         }
     }
@@ -108,10 +174,34 @@ impl Rosebud {
         rpus: &[Counters],
         free_slots: &[usize],
     ) -> Bottleneck {
-        // A halted or drop-heavy RPU dominates any throughput symptom.
+        // A halted, hung, or drop-heavy RPU dominates any throughput
+        // symptom. Halted beats hung beats dropping: a trap is definitive,
+        // a fired watchdog with work outstanding is strong, heavy drops are
+        // circumstantial.
+        for r in 0..rpus.len() {
+            if self.rpus()[r].is_halted() {
+                return Bottleneck::RpuFault {
+                    rpu: r,
+                    kind: RpuFaultKind::Halted,
+                };
+            }
+        }
+        for (r, &free) in free_slots.iter().enumerate() {
+            let wedged = self.rpus()[r].watchdog_fires() > 0
+                || (self.rpus()[r].is_hung() && free < self.cfg.slots_per_rpu);
+            if wedged {
+                return Bottleneck::RpuFault {
+                    rpu: r,
+                    kind: RpuFaultKind::Hung,
+                };
+            }
+        }
         for (r, c) in rpus.iter().enumerate() {
-            if self.rpus()[r].is_halted() || c.drops > c.rx_frames / 10 + 8 {
-                return Bottleneck::RpuFault { rpu: r };
+            if c.drops > c.rx_frames / 10 + 8 {
+                return Bottleneck::RpuFault {
+                    rpu: r,
+                    kind: RpuFaultKind::Dropping,
+                };
             }
         }
         // Full ingress FIFO: something downstream cannot keep up.
@@ -216,7 +306,68 @@ mod tests {
         let diag = h.sys.diagnostics();
         assert_eq!(
             diag.bottleneck,
-            Bottleneck::RpuFault { rpu: 2 },
+            Bottleneck::RpuFault {
+                rpu: 2,
+                kind: RpuFaultKind::Halted
+            },
+            "{}",
+            diag.render()
+        );
+    }
+
+    #[test]
+    fn hung_rpu_reported_as_hung_not_halted() {
+        let sys = system(4, 10, Box::new(crate::RoundRobinLb::new()));
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 10.0);
+        h.run(5_000);
+        h.sys
+            .install_fault_plan(crate::FaultPlan::new(1).at(
+                h.sys.now() + 1,
+                crate::FaultKind::FirmwareHang { rpu: 1 },
+            ));
+        h.run(5_000);
+        let diag = h.sys.diagnostics();
+        assert_eq!(
+            diag.bottleneck,
+            Bottleneck::RpuFault {
+                rpu: 1,
+                kind: RpuFaultKind::Hung
+            },
+            "{}",
+            diag.render()
+        );
+    }
+
+    #[test]
+    fn dropping_rpu_reported_as_dropping() {
+        struct Shedder;
+        impl Firmware for Shedder {
+            fn tick(&mut self, io: &mut RpuIo<'_>) {
+                if let Some(desc) = io.rx_pop() {
+                    io.send(Desc { len: 0, ..desc }); // zero-length = drop
+                }
+            }
+        }
+        let sys = Rosebud::builder(RosebudConfig::with_rpus(4))
+            .load_balancer(Box::new(crate::RoundRobinLb::new()))
+            .firmware(|r| {
+                if r == 3 {
+                    RpuProgram::Native(Box::new(Shedder))
+                } else {
+                    RpuProgram::Native(Box::new(PacedForwarder { cycles: 10 }))
+                }
+            })
+            .build()
+            .unwrap();
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 10.0);
+        h.run(20_000);
+        let diag = h.sys.diagnostics();
+        assert_eq!(
+            diag.bottleneck,
+            Bottleneck::RpuFault {
+                rpu: 3,
+                kind: RpuFaultKind::Dropping
+            },
             "{}",
             diag.render()
         );

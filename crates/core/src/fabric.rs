@@ -111,6 +111,9 @@ pub(crate) struct IngressItem {
     pub slot: u8,
     pub bytes: Vec<u8>,
     pub meta: SlotMeta,
+    /// Bytes were mangled on the link (fault injection); the link-level FCS
+    /// check quarantines the frame before it reaches the RPU's DMA engine.
+    pub corrupted: bool,
 }
 
 /// A packet leaving an RPU, captured at `take_tx` time.

@@ -187,7 +187,70 @@ impl Rosebud {
             phase: PrPhase::Draining,
             program,
             accel,
+            reenable: true,
         });
+    }
+
+    /// Like [`Rosebud::reconfigure_rpu`] with the factory program, but the
+    /// LB enable bit does **not** come back automatically when the region
+    /// boots: the caller re-enables with [`Rosebud::enable_rpu`] after
+    /// verifying the reboot. This is the supervisor's graceful-eviction
+    /// rung — it must never hand traffic to a region it has not confirmed
+    /// alive.
+    pub fn reconfigure_rpu_gated(&mut self, rpu: usize) {
+        assert!(rpu < self.rpus.len(), "no such RPU");
+        self.enabled &= !(1 << rpu);
+        self.rpus[rpu].start_drain();
+        self.pr_jobs.push(PrJob {
+            rpu,
+            phase: PrPhase::Draining,
+            program: None,
+            accel: None,
+            reenable: false,
+        });
+    }
+
+    /// Forced eviction (A.8 failure path): a wedged region holds packets
+    /// that will never drain, so the host destroys them — every bound slot,
+    /// every queued descriptor, everything on the ingress pipeline headed
+    /// there — accounts them as purged in the conservation ledger, and
+    /// starts the PR bitstream write immediately. Returns the number of
+    /// slot-bound packets destroyed. The enable bit stays clear until the
+    /// caller re-enables.
+    pub fn force_reconfigure_rpu(&mut self, rpu: usize) -> u64 {
+        assert!(rpu < self.rpus.len(), "no such RPU");
+        self.enabled &= !(1 << rpu);
+        // Supersede any graceful job that was waiting on a drain that will
+        // never finish.
+        self.pr_jobs.retain(|j| j.rpu != rpu);
+        let purged = (self.cfg.slots_per_rpu - self.tracker.free_count(rpu)) as u64;
+        self.ledger.purged += purged;
+        self.ingress_delay.retain(|item| item.rpu != rpu);
+        self.rpu_in[rpu].flush();
+        self.rpu_out[rpu].flush();
+        self.rpus[rpu].purge();
+        self.tracker.flush(rpu);
+        let until = self.clock.cycle() + self.cfg.pr_cycles;
+        self.rpus[rpu].begin_reconfigure(until);
+        self.pr_jobs.push(PrJob {
+            rpu,
+            phase: PrPhase::Writing { until },
+            program: None,
+            accel: None,
+            reenable: false,
+        });
+        purged
+    }
+
+    /// Sets `rpu`'s LB enable bit (host register write).
+    pub fn enable_rpu(&mut self, rpu: usize) {
+        self.enabled |= 1 << rpu;
+    }
+
+    /// Clears `rpu`'s LB enable bit: new traffic immediately reroutes to
+    /// the remaining RPUs (graceful degradation).
+    pub fn disable_rpu(&mut self, rpu: usize) {
+        self.enabled &= !(1 << rpu);
     }
 
     /// `true` while a reconfiguration of `rpu` is in progress.

@@ -49,22 +49,26 @@
 mod config;
 mod diag;
 mod fabric;
+mod fault;
 mod harness;
 mod host;
 mod lb;
 pub mod resources;
 mod rpu;
+mod supervisor;
 mod system;
 mod testbench;
 mod types;
 
 pub use config::RosebudConfig;
-pub use diag::{Bottleneck, Diagnostics};
+pub use diag::{Bottleneck, Diagnostics, RpuFaultKind};
 pub use fabric::ByteFifo;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, Ledger};
 pub use harness::{Harness, Measurement};
 pub use host::{lb_regs, pr_reload_model, MemRegion, PrTimingModel};
 pub use lb::{HashLb, LeastLoadedLb, LoadBalancer, RoundRobinLb, SlotTracker};
 pub use rpu::{Firmware, Rpu, RpuInner, RpuIo, RpuState};
+pub use supervisor::{RecoveryEvent, Supervisor, SupervisorConfig};
 pub use system::{AccelFactory, FirmwareFactory, Rosebud, RosebudBuilder, RpuProgram};
 pub use testbench::{PacketReport, RpuTestbench, TxRecord};
 pub use types::{irq, memmap, port, BcastMsg, Desc, HostDmaReq, SlotMeta, SELF_TAG};

@@ -741,6 +741,13 @@ pub struct Rpu {
     /// Firmware cycles spent and packets handled (Fig. 9 accounting).
     sw_cycles: u64,
     pub(crate) boot_image: Option<Image>,
+    /// Injected-fault wedge: the core spins without retiring useful work
+    /// (§3.4 — the hang class the watchdog exists to catch).
+    hung: bool,
+    /// Injected-fault trap: treated as halted regardless of engine kind.
+    crashed: bool,
+    /// Host-visible count of watchdog expirations (detection signal).
+    watchdog_fires: u64,
 }
 
 impl std::fmt::Debug for Rpu {
@@ -762,6 +769,9 @@ impl Rpu {
             state: RpuState::Stopped,
             sw_cycles: 0,
             boot_image: None,
+            hung: false,
+            crashed: false,
+            watchdog_fires: 0,
         }
     }
 
@@ -813,6 +823,8 @@ impl Rpu {
         cpu.raise_irq(31); // reserved line kept clear; ensures mip plumbed
         cpu.clear_irq(31);
         self.engine = Engine::Riscv(cpu);
+        self.hung = false;
+        self.crashed = false;
         self.state = RpuState::Running;
     }
 
@@ -824,6 +836,8 @@ impl Rpu {
         };
         firmware.boot(&mut io);
         self.engine = Engine::Native(firmware);
+        self.hung = false;
+        self.crashed = false;
         self.state = RpuState::Running;
     }
 
@@ -866,6 +880,11 @@ impl Rpu {
         self.state = RpuState::Reconfiguring { until };
         self.engine = Engine::Empty;
         self.stall = 0;
+        // The PR bitstream wipes the region: injected wedges go with it,
+        // and the fresh region starts with a clean watchdog history.
+        self.hung = false;
+        self.crashed = false;
+        self.watchdog_fires = 0;
         if let Some(accel) = &mut self.inner.accel {
             accel.reset();
         }
@@ -878,10 +897,58 @@ impl Rpu {
 
     /// Whether the core halted on `ebreak` or a fault.
     pub fn is_halted(&self) -> bool {
+        if self.crashed {
+            return true;
+        }
         match &self.engine {
             Engine::Riscv(cpu) => cpu.is_halted(),
             _ => false,
         }
+    }
+
+    /// Whether an injected hang has wedged the firmware. This is a
+    /// diagnostic oracle for tests and snapshots; the supervisor must not
+    /// use it — it *infers* hangs from the watchdog counter and frozen
+    /// progress, which is the point of the exercise.
+    pub fn is_hung(&self) -> bool {
+        self.hung
+    }
+
+    /// Count of watchdog expirations since boot — part of the host-visible
+    /// counter block the supervisor polls (§3.4).
+    pub fn watchdog_fires(&self) -> u64 {
+        self.watchdog_fires
+    }
+
+    /// Fault injection: wedge the firmware. The core keeps "executing" (from
+    /// the outside it looks busy) but never again retires useful work, pops
+    /// a descriptor, or re-arms its watchdog.
+    pub(crate) fn force_hang(&mut self) {
+        if matches!(self.state, RpuState::Running | RpuState::Draining) {
+            self.hung = true;
+        }
+    }
+
+    /// Fault injection: crash the firmware as if it trapped on an illegal
+    /// instruction — the region halts and the halt flag goes host-visible.
+    pub(crate) fn force_crash(&mut self) {
+        if matches!(self.state, RpuState::Running | RpuState::Draining) {
+            self.crashed = true;
+            self.state = RpuState::Stopped;
+        }
+    }
+
+    /// Forced eviction (A.8 failure path): destroys every in-flight
+    /// descriptor and slot binding inside the region. Returns the number of
+    /// packets destroyed. Only meaningful right before `begin_reconfigure`
+    /// on a region that will not drain on its own.
+    pub(crate) fn purge(&mut self) -> usize {
+        let mut n = self.inner.rx_queue.flush();
+        n += self.inner.tx_queue.flush();
+        for slot in &mut self.inner.slot_meta {
+            *slot = None;
+        }
+        n
     }
 
     /// Read access to the RV32 core, when this RPU runs assembled firmware
@@ -897,6 +964,7 @@ impl Rpu {
     pub(crate) fn tick(&mut self, now: u64) {
         self.inner.now = now;
         if self.inner.watchdog_fired() {
+            self.watchdog_fires += 1;
             self.raise_irq(crate::types::irq::TIMER);
         }
         if let RpuState::Reconfiguring { until } = self.state {
@@ -905,6 +973,15 @@ impl Rpu {
             }
             // The host completes the boot via `System::finish_reconfigure`;
             // until then the region stays inert.
+            return;
+        }
+        if self.hung {
+            // Wedged firmware: the core spins, the accelerator finishes what
+            // it was already doing, nothing else happens. The armed watchdog
+            // (checked above) is the escape hatch.
+            if let Some(accel) = &mut self.inner.accel {
+                accel.tick(&self.inner.pmem);
+            }
             return;
         }
 

@@ -8,9 +8,14 @@ use rosebud_riscv::Image;
 
 use crate::config::RosebudConfig;
 use crate::fabric::{BcastArbiter, EgressItem, IngressItem, Loopback, PortState};
+use crate::fault::{FaultKind, FaultPlan, FaultState, Ledger};
 use crate::lb::{LoadBalancer, SlotTracker};
 use crate::rpu::{Firmware, Rpu};
+use crate::supervisor::RecoveryEvent;
 use crate::types::{irq, port, HostDmaReq, SlotMeta, SELF_TAG};
+
+/// How often [`Rosebud::tick`] re-asserts the packet-conservation ledger.
+const LEDGER_CHECK_INTERVAL: Cycle = 1024;
 
 /// What runs on an RPU's core.
 pub enum RpuProgram {
@@ -144,6 +149,9 @@ impl RosebudBuilder {
             routed_drops: 0,
             firmware_factory: Some(firmware),
             accel_factory: self.accel,
+            fault: None,
+            ledger: Ledger::default(),
+            recovery_log: Vec::new(),
             cfg,
         })
     }
@@ -154,6 +162,10 @@ pub(crate) struct PrJob {
     pub phase: PrPhase,
     pub program: Option<RpuProgram>,
     pub accel: Option<Box<dyn Accelerator>>,
+    /// Whether the LB enable bit comes back automatically when the new
+    /// program boots. Supervised recoveries pass `false`: the supervisor
+    /// re-enables only after verifying the region actually rebooted.
+    pub reenable: bool,
 }
 
 pub(crate) enum PrPhase {
@@ -188,6 +200,13 @@ pub struct Rosebud {
     pub(crate) routed_drops: u64,
     pub(crate) firmware_factory: Option<FirmwareFactory>,
     pub(crate) accel_factory: Option<AccelFactory>,
+    /// Installed fault-injection schedule, if any.
+    pub(crate) fault: Option<FaultState>,
+    /// Packet-conservation accounting.
+    pub(crate) ledger: Ledger,
+    /// Completed recovery records, written by the supervisor over the host
+    /// interface.
+    pub(crate) recovery_log: Vec<RecoveryEvent>,
 }
 
 impl std::fmt::Debug for Rosebud {
@@ -246,12 +265,29 @@ impl Rosebud {
         if p >= self.ports.len() {
             return Err(pkt);
         }
+        if self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.rx_drop_until[p] > now)
+        {
+            // Injected RX FIFO overflow burst: the MAC accepts the frame and
+            // immediately sheds it — accounted, not lost.
+            self.ports[p].counters.count_rx_frame(pkt.len());
+            self.ports[p].counters.count_drop();
+            self.ledger.injected += 1;
+            self.ledger.dropped += 1;
+            return Ok(());
+        }
         let wire = pkt.wire_len();
         self.ports[p].counters.count_rx_frame(pkt.len());
-        self.ports[p].rx_mac.push(pkt, wire, now).inspect_err(|pkt| {
+        let res = self.ports[p].rx_mac.push(pkt, wire, now).inspect_err(|pkt| {
             self.ports[p].counters.rx_frames -= 1;
             self.ports[p].counters.rx_bytes -= pkt.len();
-        })
+        });
+        if res.is_ok() {
+            self.ledger.injected += 1;
+        }
+        res
     }
 
     /// `true` if port `p`'s receive MAC can take another frame this cycle.
@@ -271,7 +307,11 @@ impl Rosebud {
 
     /// Queues a frame from the host's virtual Ethernet interface.
     pub fn inject_from_host(&mut self, pkt: Packet) -> Result<(), Packet> {
-        self.host_tx.push(pkt)
+        let res = self.host_tx.push(pkt);
+        if res.is_ok() {
+            self.ledger.injected += 1;
+        }
+        res
     }
 
     /// Counters of physical port `p`.
@@ -321,6 +361,9 @@ impl Rosebud {
     pub fn tick(&mut self) {
         let now = self.clock.cycle();
 
+        // 0. Scheduled fault injection (chaos harness).
+        self.apply_due_faults(now);
+
         // 1. Wire-side receive: MAC serializer → MAC FIFO (byte-bounded).
         for p in &mut self.ports {
             if let Some(ready) = p.rx_mac.head_ready_at() {
@@ -363,6 +406,13 @@ impl Rosebud {
         // 4. Per-RPU link → DMA into packet memory + descriptor delivery.
         for r in 0..self.rpus.len() {
             if let Some(item) = self.rpu_in[r].pop_ready(now) {
+                if item.corrupted {
+                    // Link FCS failure: quarantine before the DMA engine
+                    // touches packet memory; the slot returns to the LB.
+                    self.tracker.release(r, item.slot);
+                    self.ledger.corrupted += 1;
+                    continue;
+                }
                 let delivered =
                     self.rpus[r]
                         .inner_mut()
@@ -371,6 +421,7 @@ impl Rosebud {
                     // Should not happen: slots bound in-flight packets.
                     self.tracker.release(r, item.slot);
                     self.routed_drops += 1;
+                    self.ledger.dropped += 1;
                 }
             }
         }
@@ -389,6 +440,9 @@ impl Rosebud {
                 if desc.len == 0 || bytes.is_empty() {
                     if desc.tag != SELF_TAG {
                         self.tracker.release(r, desc.tag);
+                        // Self-originated zero-length sends never entered
+                        // the conservation universe; slot-bound ones did.
+                        self.ledger.dropped += 1;
                     }
                     self.routed_drops += 1;
                     continue;
@@ -425,6 +479,10 @@ impl Rosebud {
             if let Some(item) = self.rpu_out[r].pop_ready(now) {
                 if item.desc.tag != SELF_TAG {
                     self.tracker.release(item.src_rpu, item.desc.tag);
+                } else {
+                    // A firmware-originated frame enters the conservation
+                    // universe as it leaves the region.
+                    self.ledger.originated += 1;
                 }
                 self.route_egress(item, now);
             }
@@ -441,6 +499,7 @@ impl Rosebud {
             if let Some(pkt) = p.tx_mac.pop_ready(now) {
                 p.counters.count_tx_frame(pkt.len());
                 p.output.push(pkt);
+                self.ledger.delivered += 1;
             }
         }
 
@@ -450,30 +509,37 @@ impl Rosebud {
 
         // 10. Host PCIe delivery, and the host-DRAM access manager: RPU
         //     DMA requests traverse PCIe, touch host DRAM, and complete with
-        //     the DMA interrupt (§4.2).
-        while let Some(pkt) = self.host_rx_delay.pop_ready(now) {
-            self.host_rx.push(pkt);
-        }
-        for r in 0..self.rpus.len() {
-            if let Some(req) = self.rpus[r].inner_mut().take_dma_req() {
-                self.host_dma_delay.push((r, req), now);
+        //     the DMA interrupt (§4.2). An injected PCIe outage stalls the
+        //     whole stage: nothing is lost, everything waits for link-up.
+        let host_up = self.fault.as_ref().is_none_or(|f| f.host_down_until <= now);
+        if host_up {
+            while let Some(pkt) = self.host_rx_delay.pop_ready(now) {
+                self.host_rx.push(pkt);
+                self.ledger.delivered += 1;
+            }
+            for r in 0..self.rpus.len() {
+                if let Some(req) = self.rpus[r].inner_mut().take_dma_req() {
+                    self.host_dma_delay.push((r, req), now);
+                }
             }
         }
-        while let Some((r, req)) = self.host_dma_delay.pop_ready(now) {
-            let inner = self.rpus[r].inner_mut();
-            if req.to_host {
-                let bytes = inner.pmem_copy_out(req.local_addr, req.len);
-                let at = (req.host_addr as usize).min(self.host_dram.len());
-                let end = (at + bytes.len()).min(self.host_dram.len());
-                self.host_dram[at..end].copy_from_slice(&bytes[..end - at]);
-            } else {
-                let at = (req.host_addr as usize).min(self.host_dram.len());
-                let end = (at + req.len as usize).min(self.host_dram.len());
-                let bytes = self.host_dram[at..end].to_vec();
-                inner.pmem_copy_in(req.local_addr, &bytes);
+        if host_up {
+            while let Some((r, req)) = self.host_dma_delay.pop_ready(now) {
+                let inner = self.rpus[r].inner_mut();
+                if req.to_host {
+                    let bytes = inner.pmem_copy_out(req.local_addr, req.len);
+                    let at = (req.host_addr as usize).min(self.host_dram.len());
+                    let end = (at + bytes.len()).min(self.host_dram.len());
+                    self.host_dram[at..end].copy_from_slice(&bytes[..end - at]);
+                } else {
+                    let at = (req.host_addr as usize).min(self.host_dram.len());
+                    let end = (at + req.len as usize).min(self.host_dram.len());
+                    let bytes = self.host_dram[at..end].to_vec();
+                    inner.pmem_copy_in(req.local_addr, &bytes);
+                }
+                self.rpus[r].inner_mut().dma_complete();
+                self.rpus[r].raise_irq(irq::DMA);
             }
-            self.rpus[r].inner_mut().dma_complete();
-            self.rpus[r].raise_irq(irq::DMA);
         }
 
         // 11. Broadcast arbiter: one outbox visited per cycle; delivery is
@@ -497,7 +563,49 @@ impl Rosebud {
         // 12. Partial-reconfiguration jobs.
         self.advance_pr_jobs(now);
 
+        // Packet conservation is a standing invariant, not a test-only one:
+        // losing track of frames during fault recovery must fail loudly.
+        if now.is_multiple_of(LEDGER_CHECK_INTERVAL) {
+            self.assert_conservation();
+        }
+
         self.clock.tick();
+    }
+
+    /// Applies every fault event scheduled at or before `now`.
+    fn apply_due_faults(&mut self, now: Cycle) {
+        let Some(fault) = &mut self.fault else {
+            return;
+        };
+        let due = fault.due(now);
+        if due.is_empty() {
+            return;
+        }
+        for ev in due {
+            let fault = self.fault.as_mut().expect("checked above");
+            match ev.kind {
+                FaultKind::FirmwareHang { rpu } if rpu < self.rpus.len() => {
+                    fault.last_fault_at[rpu] = Some(now);
+                    self.rpus[rpu].force_hang();
+                }
+                FaultKind::FirmwareCrash { rpu } if rpu < self.rpus.len() => {
+                    fault.last_fault_at[rpu] = Some(now);
+                    self.rpus[rpu].force_crash();
+                }
+                FaultKind::CorruptIngress { rpu, count } if rpu < self.rpus.len() => {
+                    fault.corrupt_pending[rpu] += count;
+                }
+                FaultKind::RxFifoOverflow { port, cycles } if port < self.ports.len() => {
+                    let until = now + cycles;
+                    let cur = &mut fault.rx_drop_until[port];
+                    *cur = (*cur).max(until);
+                }
+                FaultKind::HostDmaOutage { cycles } => {
+                    fault.host_down_until = fault.host_down_until.max(now + cycles);
+                }
+                _ => {} // out-of-range target: the fault hits nothing
+            }
+        }
     }
 
     /// Attempts one LB assignment from port `p`'s MAC FIFO. Returns `false`
@@ -519,6 +627,7 @@ impl Rosebud {
         let pkt = self.ports[p].rx_fifo.pop().expect("front checked");
         let mut bytes = self.lb.prepend(&pkt).unwrap_or_default();
         bytes.extend_from_slice(pkt.bytes());
+        let corrupted = self.corrupt_on_link(rpu, &mut bytes);
         let meta = SlotMeta {
             packet_id: pkt.id,
             ts_gen: pkt.ts_gen,
@@ -532,9 +641,28 @@ impl Rosebud {
                 slot,
                 bytes,
                 meta,
+                corrupted,
             },
             now,
         );
+        true
+    }
+
+    /// Applies pending injected link corruption for `rpu`, if any: flips a
+    /// few bytes deterministically from the plan's effect RNG.
+    fn corrupt_on_link(&mut self, rpu: usize, bytes: &mut [u8]) -> bool {
+        let Some(fault) = &mut self.fault else {
+            return false;
+        };
+        if fault.corrupt_pending[rpu] == 0 || bytes.is_empty() {
+            return false;
+        }
+        fault.corrupt_pending[rpu] -= 1;
+        let flips = 1 + fault.rng.below(4);
+        for _ in 0..flips {
+            let i = fault.rng.below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 + fault.rng.below(255) as u8;
+        }
         true
     }
 
@@ -552,6 +680,7 @@ impl Rosebud {
         let pkt = self.host_tx.pop().expect("front checked");
         let mut bytes = self.lb.prepend(&pkt).unwrap_or_default();
         bytes.extend_from_slice(pkt.bytes());
+        let corrupted = self.corrupt_on_link(rpu, &mut bytes);
         let meta = SlotMeta {
             packet_id: pkt.id,
             ts_gen: pkt.ts_gen,
@@ -565,6 +694,7 @@ impl Rosebud {
                 slot,
                 bytes,
                 meta,
+                corrupted,
             },
             now,
         );
@@ -590,9 +720,11 @@ impl Rosebud {
             if self.loopback.queue.push(item).is_err() {
                 self.loopback.counters.count_drop();
                 self.routed_drops += 1;
+                self.ledger.dropped += 1;
             }
         } else {
             self.routed_drops += 1;
+            self.ledger.dropped += 1;
         }
     }
 
@@ -604,6 +736,14 @@ impl Rosebud {
             return;
         }
         let dst = (item.desc.port - port::LOOPBACK_BASE) as usize;
+        // The LB enable mask only gates ingress assignment (a two-step
+        // pipeline legitimately loopback-feeds LB-disabled partners); what
+        // must hold the wire is the destination *region* being down —
+        // draining, mid-reload, or crashed — because a slot allocated into
+        // such a region would be wiped by the PR flush.
+        if !matches!(self.rpus[dst].state(), crate::rpu::RpuState::Running) {
+            return;
+        }
         if self.tracker.free_count(dst) == 0 || self.rpu_in[dst].is_full() {
             return; // destination backpressure stalls the loopback wire
         }
@@ -626,6 +766,7 @@ impl Rosebud {
                         ingress_port: port::LOOPBACK_BASE + item.src_rpu as u8,
                         ..meta
                     },
+                    corrupted: false,
                 },
                 len,
                 now,
@@ -675,7 +816,9 @@ impl Rosebud {
             None => {}
         }
         self.tracker.flush(r);
-        self.enabled |= 1 << r;
+        if job.reenable {
+            self.enabled |= 1 << r;
+        }
     }
 
     /// Sends a full packet from RPU `src` to RPU `dst` through the loopback
@@ -713,6 +856,90 @@ impl Rosebud {
             + self.loopback.wire.len()
             + self.host_rx_delay.len()
             + self.host_tx.len()
+    }
+
+    /// Installs a fault-injection schedule. Events already in the past
+    /// (relative to the current cycle) trigger on the next tick.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan, self.rpus.len(), self.ports.len()));
+    }
+
+    /// `true` once every installed fault has triggered and every fault
+    /// window has closed (vacuously true with no plan installed).
+    pub fn faults_quiescent(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_none_or(|f| f.quiescent(self.clock.cycle()))
+    }
+
+    /// `true` while the host-DMA/PCIe path is up. The supervisor checks
+    /// this before every control action and backs off when the link is down
+    /// (a register op over a dead link just times out).
+    pub fn host_link_up(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_none_or(|f| f.host_down_until <= self.clock.cycle())
+    }
+
+    /// When the most recent injected firmware fault hit `rpu` (detection-
+    /// latency accounting for recovery records).
+    pub fn last_fault_at(&self, rpu: usize) -> Option<Cycle> {
+        self.fault.as_ref().and_then(|f| f.last_fault_at[rpu])
+    }
+
+    /// The packet-conservation ledger.
+    pub fn ledger(&self) -> Ledger {
+        self.ledger
+    }
+
+    /// Frames currently in flight as the conservation ledger counts them:
+    /// MAC paths, bound LB slots (covering the ingress pipeline, per-RPU
+    /// links, and in-region packets), the loopback module, and the host
+    /// paths. Firmware-originated frames still inside a region are not yet
+    /// in the universe — they enter at the egress link.
+    pub fn ledger_in_flight(&self) -> u64 {
+        let mac: usize = self
+            .ports
+            .iter()
+            .map(|p| p.rx_mac.len() + p.rx_fifo.len() + p.tx_delay.len() + p.tx_mac.len())
+            .sum();
+        let slots: usize = (0..self.rpus.len())
+            .map(|r| self.cfg.slots_per_rpu - self.tracker.free_count(r))
+            .sum();
+        (mac
+            + slots
+            + self.host_tx.len()
+            + self.host_rx_delay.len()
+            + self.loopback.queue.len()
+            + self.loopback.wire.len()) as u64
+    }
+
+    /// Panics unless `injected + originated == delivered + dropped +
+    /// corrupted + purged + in_flight`. Called automatically every
+    /// [`LEDGER_CHECK_INTERVAL`] cycles.
+    pub fn assert_conservation(&self) {
+        let in_flight = self.ledger_in_flight();
+        assert!(
+            self.ledger.balances(in_flight),
+            "packet conservation violated at cycle {}: {:?} + {} in flight \
+             (entered {} != accounted {} + in-flight {})",
+            self.clock.cycle(),
+            self.ledger,
+            in_flight,
+            self.ledger.entered(),
+            self.ledger.accounted(),
+            in_flight,
+        );
+    }
+
+    /// Appends a completed recovery record (the supervisor's host-side log).
+    pub fn log_recovery(&mut self, event: RecoveryEvent) {
+        self.recovery_log.push(event);
+    }
+
+    /// Completed recoveries, oldest first.
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
     }
 
     /// The slot tracker (test inspection).

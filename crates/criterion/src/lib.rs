@@ -1,0 +1,242 @@
+//! A minimal, offline stand-in for the `criterion` benchmark crate.
+//!
+//! The workspace builds without registry access, so the real `criterion`
+//! cannot be downloaded. This crate keeps the same macro/builder surface the
+//! benches use (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`) and
+//! measures with plain wall-clock loops: a short warm-up, then timed batches
+//! until a fixed measurement budget elapses. No statistics, plots, or saved
+//! baselines — just honest mean-per-iteration numbers on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Units for reporting rate alongside time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let time = humane_ns(b.ns_per_iter);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if b.ns_per_iter > 0.0 => {
+                let gbs = bytes as f64 / b.ns_per_iter;
+                format!("  ({gbs:.3} GB/s)")
+            }
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                let meps = n as f64 * 1e3 / b.ns_per_iter;
+                format!("  ({meps:.3} Melem/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{group}/{label:<28} {time:>12}/iter{rate}  [{iters} iters]",
+            group = self.name,
+            iters = b.iters,
+        );
+    }
+
+    /// Ends the group (parity with the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly; its return value is black-boxed.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: let caches/branch predictors settle and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Measure in batches sized to ~10 ms to amortize timer reads.
+        let batch = ((10e6 / est.max(1.0)) as u64).clamp(1, 1_000_000);
+        let mut total_ns = 0u128;
+        let mut iters = 0u64;
+        let budget = self.measure;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_ns += t0.elapsed().as_nanos();
+            iters += batch;
+        }
+        self.ns_per_iter = total_ns as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+fn humane_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

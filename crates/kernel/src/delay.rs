@@ -77,6 +77,15 @@ impl<T> DelayLine<T> {
         self.items.clear();
         n
     }
+
+    /// Keeps only items satisfying `pred`, returning how many were
+    /// discarded. Used by forced-eviction paths that must destroy in-flight
+    /// work bound for a region being reloaded.
+    pub fn retain(&mut self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let before = self.items.len();
+        self.items.retain(|(_, item)| pred(item));
+        before - self.items.len()
+    }
 }
 
 #[cfg(test)]

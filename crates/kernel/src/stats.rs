@@ -1,7 +1,5 @@
 //! Interface counters and latency aggregation.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-interface counters readable by the host (paper §4.3: "These counters
 /// contain the number of transferred bytes, frames, drops, or stalled
 /// cycles").
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.rx_frames, 1);
 /// assert_eq!(c.tx_bytes, 64);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Bytes received.
     pub rx_bytes: u64,

@@ -155,7 +155,8 @@ pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
             Body::Instr(mnemonic, operands) => {
                 let instrs = lower(mnemonic, operands, addr, &symbols, stmt.line)?;
                 for (i, instr) in instrs.iter().enumerate() {
-                    emit_at(&mut words, addr + (i as u32) * 4, encode(*instr));
+                    let word = encode(*instr).map_err(|e| err(stmt.line, e.to_string()))?;
+                    emit_at(&mut words, addr + (i as u32) * 4, word);
                 }
             }
             Body::Word(exprs) => {
@@ -775,6 +776,10 @@ fn lower(
         "xori" => alu_imm(AluOp::Xor),
         "ori" => alu_imm(AluOp::Or),
         "andi" => alu_imm(AluOp::And),
+        "subi" => Err(err(
+            line,
+            "`subi` does not exist in RV32; use `addi` with a negated immediate".to_string(),
+        )),
         "slli" => shift_imm(AluOp::Sll),
         "srli" => shift_imm(AluOp::Srl),
         "srai" => shift_imm(AluOp::Sra),
@@ -902,6 +907,15 @@ fn lower(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn subi_is_rejected_with_guidance() {
+        let e = assemble("subi a0, a0, 4").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("addi"), "error should point at the fix: {e}");
+        // The equivalent spelling assembles fine.
+        assert!(assemble("addi a0, a0, -4").is_ok());
+    }
 
     #[test]
     fn li_small_is_one_instruction() {

@@ -257,6 +257,26 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Errors produced by [`encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// `OpImm` with [`AluOp::Sub`]: RV32 has no `subi`. Negate the
+    /// immediate and use `addi` instead.
+    NoSubImmediate,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::NoSubImmediate => {
+                write!(f, "`subi` does not exist in RV32; use `addi` with a negated immediate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 fn bits(word: u32, hi: u32, lo: u32) -> u32 {
     (word >> lo) & ((1 << (hi - lo + 1)) - 1)
 }
@@ -438,11 +458,18 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
 /// `encode` and [`decode`] are inverses for every representable instruction,
 /// a property the test suite checks exhaustively with proptest.
 ///
+/// # Errors
+///
+/// Returns [`EncodeError::NoSubImmediate`] for an `OpImm` with
+/// [`AluOp::Sub`]: RV32 has no `subi` — negate the immediate and use
+/// `addi`. The assembler surfaces this as an [`crate::AsmError`] on the
+/// offending source line.
+///
 /// # Panics
 ///
 /// Panics if an immediate is out of range for its encoding (the assembler
 /// checks ranges before calling).
-pub fn encode(instr: Instr) -> u32 {
+pub fn encode(instr: Instr) -> Result<u32, EncodeError> {
     fn u_type(opcode: u32, rd: Reg, imm: i32) -> u32 {
         assert!((-(1 << 19)..(1 << 19)).contains(&imm), "U-imm out of range");
         ((imm as u32) << 12) | ((rd.0 as u32) << 7) | opcode
@@ -489,7 +516,7 @@ pub fn encode(instr: Instr) -> u32 {
             | 0b0110011
     }
 
-    match instr {
+    Ok(match instr {
         Instr::Lui { rd, imm } => u_type(0b0110111, rd, imm),
         Instr::Auipc { rd, imm } => u_type(0b0010111, rd, imm),
         Instr::Jal { rd, imm } => {
@@ -554,7 +581,7 @@ pub fn encode(instr: Instr) -> u32 {
                 assert!((0..32).contains(&imm), "shift amount out of range");
                 i_type(0b0010011, 0b101, rd, rs1, imm | 0x400)
             }
-            AluOp::Sub => panic!("subi does not exist; negate the immediate"),
+            AluOp::Sub => return Err(EncodeError::NoSubImmediate),
         },
         Instr::Op { op, rd, rs1, rs2 } => {
             let (funct3, funct7) = match op {
@@ -608,7 +635,7 @@ pub fn encode(instr: Instr) -> u32 {
                 | ((rd.0 as u32) << 7)
                 | 0b1110011
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -651,7 +678,8 @@ mod tests {
             rs1: Reg(10),
             rs2: Reg(11),
             imm: 16,
-        });
+        })
+        .unwrap();
         assert_eq!(decode(word).unwrap(), Instr::Branch {
             op: BranchOp::Eq,
             rs1: Reg(10),
@@ -681,8 +709,21 @@ mod tests {
             Instr::Csr { op: CsrOp::Rw, rd: Reg(0), csr: 0x305, src: CsrSrc::Reg(Reg(7)) },
         ];
         for instr in samples {
-            assert_eq!(decode(encode(instr)).unwrap(), instr, "{instr:?}");
+            assert_eq!(decode(encode(instr).unwrap()).unwrap(), instr, "{instr:?}");
         }
+    }
+
+    #[test]
+    fn sub_immediate_is_an_error_not_a_panic() {
+        let err = encode(Instr::OpImm {
+            op: AluOp::Sub,
+            rd: Reg(10),
+            rs1: Reg(10),
+            imm: 1,
+        })
+        .unwrap_err();
+        assert_eq!(err, EncodeError::NoSubImmediate);
+        assert!(err.to_string().contains("addi"), "error should point at the fix");
     }
 
     #[test]

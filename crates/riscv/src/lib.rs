@@ -47,6 +47,6 @@ pub use cpu::{
 };
 pub use disasm::{disassemble, disassemble_image};
 pub use isa::{
-    decode, encode, AluOp, BranchOp, CsrOp, CsrSrc, DecodeError, Instr, LoadOp, MulOp, Reg,
-    StoreOp,
+    decode, encode, AluOp, BranchOp, CsrOp, CsrSrc, DecodeError, EncodeError, Instr, LoadOp,
+    MulOp, Reg, StoreOp,
 };

@@ -1,0 +1,105 @@
+//! Chaos engineering against the self-healing supervisor (§3.4, A.8).
+//!
+//! Eight RPUs forward 64-byte packets at saturation while a scheduled
+//! fault plan wedges firmware, crashes a core, corrupts frames on the
+//! ingress link, sheds a MAC RX FIFO overflow burst, and takes the host
+//! PCIe link down mid-recovery. The supervisor detects each failure from
+//! host-visible signals only, walks the recovery ladder (poke → evict +
+//! bounded drain → forced PR reload → firmware reboot → LB re-enable),
+//! and the packet-conservation ledger proves nothing was lost untracked.
+//!
+//! Run with: `cargo run --release --example chaos`
+
+use rosebud::apps::forwarder::build_watchdog_forwarding_system;
+use rosebud::core::{FaultKind, FaultPlan, Harness, Supervisor, SupervisorConfig};
+use rosebud::net::FixedSizeGen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = build_watchdog_forwarding_system(8, 64)?;
+
+    // The schedule: every fault class the injector knows, overlapping.
+    let plan = FaultPlan::new(0xC0FFEE)
+        .at(40_000, FaultKind::CorruptIngress { rpu: 1, count: 20 })
+        .at(50_000, FaultKind::FirmwareHang { rpu: 3 })
+        .at(55_000, FaultKind::RxFifoOverflow { port: 0, cycles: 2_000 })
+        .at(60_000, FaultKind::HostDmaOutage { cycles: 8_000 })
+        .at(140_000, FaultKind::FirmwareCrash { rpu: 6 });
+    sys.install_fault_plan(plan);
+
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(64, 2)), 205.0);
+    let mut sup = Supervisor::with_config(
+        &h.sys,
+        SupervisorConfig {
+            drain_timeout: 4_000,
+            ..SupervisorConfig::default()
+        },
+    );
+
+    println!("warming up 8 watchdog-petting forwarders at 64 B saturation ...");
+    for _ in 0..20_000 {
+        h.tick();
+        sup.poll(&mut h.sys);
+    }
+    h.begin_window();
+    for _ in 0..20_000 {
+        h.tick();
+        sup.poll(&mut h.sys);
+    }
+    println!("baseline: {:.1} Mpps\n", h.measure().mpps);
+
+    println!("unleashing the fault plan (hang, crash, corruption, overflow, PCIe outage) ...");
+    let mut reported = 0;
+    let mut was_down = false;
+    // Two firmware faults are scheduled, so two recoveries must complete.
+    while h.sys.recovery_log().len() < 2 || sup.recovering() {
+        h.tick();
+        sup.poll(&mut h.sys);
+        if !h.sys.host_link_up() && !was_down {
+            println!("  [PCIe] host link down — supervisor backing off");
+            was_down = true;
+        } else if h.sys.host_link_up() && was_down {
+            println!("  [PCIe] host link restored after {} retries", sup.link_retries());
+            was_down = false;
+        }
+        for ev in &h.sys.recovery_log()[reported..] {
+            println!(
+                "  [recovery] RPU {} {}: detected @{} (latency {}), \
+                 re-enabled @{} (downtime {}), {} purged, forced: {}",
+                ev.rpu,
+                ev.kind,
+                ev.detected_at,
+                ev.detection_latency
+                    .map_or_else(|| "n/a".into(), |l| l.to_string()),
+                ev.reenabled_at,
+                ev.downtime,
+                ev.packets_purged,
+                ev.forced,
+            );
+        }
+        reported = h.sys.recovery_log().len();
+    }
+
+    h.begin_window();
+    for _ in 0..20_000 {
+        h.tick();
+        sup.poll(&mut h.sys);
+    }
+    println!("\nall regions healthy again: {:.1} Mpps", h.measure().mpps);
+    println!("enabled mask: {:#04x}", h.sys.enabled_mask());
+
+    let ledger = h.sys.ledger();
+    println!(
+        "\nconservation ledger: {} injected + {} originated = {} delivered \
+         + {} dropped + {} corrupted-quarantined + {} purged + {} in flight",
+        ledger.injected,
+        ledger.originated,
+        ledger.delivered,
+        ledger.dropped,
+        ledger.corrupted,
+        ledger.purged,
+        h.sys.ledger_in_flight(),
+    );
+    h.sys.assert_conservation();
+    println!("ledger balances — no packet left unaccounted.");
+    Ok(())
+}

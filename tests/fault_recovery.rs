@@ -1,0 +1,183 @@
+//! Chaos integration test: a firmware hang under live traffic must be
+//! detected, evicted, reloaded, and reintegrated by the supervisor while
+//! the remaining RPUs carry traffic (§3.4, Appendix A.8).
+//!
+//! The scenario: eight RPUs run the watchdog-petting forwarder at 64-byte
+//! saturation. Mid-run, injected fault wedges RPU 3. The supervisor must
+//! notice the watchdog expiry, pull the region out of rotation, force-evict
+//! it when the graceful drain stalls (a hung region never drains), write
+//! the PR bitstream, reboot the firmware, and only then hand traffic back.
+//! Throughput while the region is out is the load balancer's graceful
+//! degradation: ~7/8 of the healthy baseline. Packet conservation holds
+//! throughout, and the whole trace is cycle-exact deterministic.
+
+use rosebud::apps::forwarder::build_watchdog_forwarding_system;
+use rosebud::core::{
+    FaultKind, FaultPlan, Harness, Ledger, RecoveryEvent, RpuFaultKind, RpuState, Supervisor,
+    SupervisorConfig,
+};
+use rosebud::net::FixedSizeGen;
+
+const RPUS: usize = 8;
+const WEDGED: usize = 3;
+const HANG_AT: u64 = 50_000;
+
+/// Ticks the system and the supervising host agent in lockstep.
+fn run_supervised(h: &mut Harness, sup: &mut Supervisor, cycles: u64) {
+    for _ in 0..cycles {
+        h.tick();
+        sup.poll(&mut h.sys);
+    }
+}
+
+struct Trace {
+    baseline_mpps: f64,
+    degraded_mpps: f64,
+    recovered_mpps: f64,
+    wedged_frames_after_recovery: u64,
+    recoveries: Vec<RecoveryEvent>,
+    ledger: Ledger,
+    in_flight: u64,
+}
+
+fn run_scenario() -> Trace {
+    let mut sys = build_watchdog_forwarding_system(RPUS, 64).unwrap();
+    sys.install_fault_plan(FaultPlan::new(7).at(HANG_AT, FaultKind::FirmwareHang { rpu: WEDGED }));
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(64, 2)), 205.0);
+    let mut sup = Supervisor::with_config(
+        &h.sys,
+        SupervisorConfig {
+            drain_timeout: 4_000,
+            ..SupervisorConfig::default()
+        },
+    );
+
+    // Healthy baseline at saturation.
+    run_supervised(&mut h, &mut sup, 20_000);
+    h.begin_window();
+    run_supervised(&mut h, &mut sup, 25_000);
+    let baseline_mpps = h.measure().mpps;
+
+    // The hang lands at 50_000; give detection + poke + drain escalation
+    // room, then measure squarely inside the PR reload (25_000 cycles).
+    run_supervised(&mut h, &mut sup, 12_000); // now at 57_000
+    assert!(
+        sup.recovering(),
+        "supervisor should be mid-recovery shortly after the hang"
+    );
+    h.begin_window();
+    run_supervised(&mut h, &mut sup, 20_000); // 57_000..77_000, inside reload
+    let degraded_mpps = h.measure().mpps;
+
+    // Let the reload finish and the supervisor verify + re-enable.
+    run_supervised(&mut h, &mut sup, 10_000); // now at 87_000
+    let frames_at_recovery = h.sys.rpu_counters(WEDGED).rx_frames;
+
+    // Reintegration window: the recovered region must carry traffic again.
+    h.begin_window();
+    run_supervised(&mut h, &mut sup, 20_000);
+    let recovered_mpps = h.measure().mpps;
+
+    h.sys.assert_conservation();
+    Trace {
+        baseline_mpps,
+        degraded_mpps,
+        recovered_mpps,
+        wedged_frames_after_recovery: h.sys.rpu_counters(WEDGED).rx_frames - frames_at_recovery,
+        recoveries: h.sys.recovery_log().to_vec(),
+        ledger: h.sys.ledger(),
+        in_flight: h.sys.ledger_in_flight(),
+    }
+}
+
+#[test]
+fn hang_is_detected_evicted_reloaded_and_reintegrated() {
+    let t = run_scenario();
+
+    assert_eq!(t.recoveries.len(), 1, "exactly one recovery: {:?}", t.recoveries);
+    let ev = t.recoveries[0];
+    assert_eq!(ev.rpu, WEDGED);
+    assert_eq!(
+        ev.kind,
+        RpuFaultKind::Hung,
+        "a wedge with a petted watchdog must be detected as hung, not halted"
+    );
+    assert_eq!(ev.fault_at, Some(HANG_AT));
+    let latency = ev.detection_latency.expect("fault cycle is known");
+    assert!(
+        latency <= 1_200,
+        "watchdog + one poll interval should catch the hang, took {latency} cycles"
+    );
+    assert!(ev.forced, "a hung region cannot drain gracefully");
+    assert!(
+        ev.packets_purged > 0,
+        "the wedged region was holding packets at saturation"
+    );
+    assert!(
+        ev.downtime >= 25_000,
+        "downtime must cover the PR write, got {}",
+        ev.downtime
+    );
+}
+
+#[test]
+fn throughput_degrades_to_seven_eighths_and_returns() {
+    let t = run_scenario();
+
+    let degraded_ratio = t.degraded_mpps / t.baseline_mpps;
+    assert!(
+        (0.82..0.93).contains(&degraded_ratio),
+        "one of eight RPUs out should cost ~1/8 of throughput: \
+         baseline {:.1} Mpps, degraded {:.1} Mpps (ratio {:.3})",
+        t.baseline_mpps,
+        t.degraded_mpps,
+        degraded_ratio
+    );
+    let recovered_ratio = t.recovered_mpps / t.baseline_mpps;
+    assert!(
+        recovered_ratio > 0.97,
+        "throughput must return to baseline after reintegration: \
+         baseline {:.1} Mpps, recovered {:.1} Mpps",
+        t.baseline_mpps,
+        t.recovered_mpps
+    );
+    assert!(
+        t.wedged_frames_after_recovery > 100,
+        "the recovered RPU must carry real traffic again, saw {} frames",
+        t.wedged_frames_after_recovery
+    );
+}
+
+#[test]
+fn recovered_region_is_verified_running() {
+    let mut sys = build_watchdog_forwarding_system(RPUS, 64).unwrap();
+    sys.install_fault_plan(FaultPlan::new(7).at(HANG_AT, FaultKind::FirmwareHang { rpu: WEDGED }));
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(64, 2)), 205.0);
+    let mut sup = Supervisor::with_config(
+        &h.sys,
+        SupervisorConfig {
+            drain_timeout: 4_000,
+            ..SupervisorConfig::default()
+        },
+    );
+    run_supervised(&mut h, &mut sup, 95_000);
+    assert_eq!(h.sys.enabled_mask(), 0xFF, "all eight regions back in rotation");
+    assert_eq!(h.sys.rpus()[WEDGED].state(), RpuState::Running);
+    assert!(!h.sys.rpus()[WEDGED].is_halted());
+    assert!(!h.sys.rpus()[WEDGED].is_hung(), "the reload wiped the wedge");
+    assert!(!sup.recovering());
+}
+
+#[test]
+fn recovery_trace_is_deterministic() {
+    let a = run_scenario();
+    let b = run_scenario();
+    assert_eq!(
+        a.recoveries, b.recoveries,
+        "same plan + seed must reproduce the cycle-exact recovery trace"
+    );
+    assert_eq!(a.ledger, b.ledger, "ledger must be cycle-exact reproducible");
+    assert_eq!(a.in_flight, b.in_flight);
+    assert!((a.baseline_mpps - b.baseline_mpps).abs() < f64::EPSILON);
+    assert!((a.degraded_mpps - b.degraded_mpps).abs() < f64::EPSILON);
+}
