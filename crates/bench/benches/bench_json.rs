@@ -1,0 +1,134 @@
+//! Machine-readable benchmark summary: emits `BENCH_rosebud.json` with the
+//! reproduction's headline numbers — forwarding throughput (64 B and 1500 B),
+//! round-trip latency p50/p99, and the self-healing recovery metrics — so CI
+//! can archive one comparable artifact per run.
+//!
+//! Run with: `cargo bench --bench bench_json`
+//! Output path: `$ROSEBUD_BENCH_OUT`, else `<workspace root>/BENCH_rosebud.json`.
+
+use rosebud_apps::forwarder::{build_forwarding_system, build_watchdog_forwarding_system};
+use rosebud_bench::{bench_output_path, json_f64, measure};
+use rosebud_core::{FaultKind, FaultPlan, Harness, Supervisor, SupervisorConfig};
+use rosebud_kernel::RateWindow;
+use rosebud_net::FixedSizeGen;
+
+/// One throughput point: saturating offered load, like the Fig. 7 sweep.
+struct Throughput {
+    size: usize,
+    gbps: f64,
+    mpps: f64,
+    /// Cross-check from the DUT's own §4.3 counters via a `RateWindow`,
+    /// in received bits per cycle summed over both ports.
+    counter_rx_bits_per_cycle: f64,
+}
+
+fn throughput_point(size: usize) -> Throughput {
+    let sys = build_forwarding_system(16).expect("valid config");
+    // Tracing stays off: this is the overhead-free measurement path.
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(size, 2)), 205.0);
+    h.run(20_000);
+
+    // The DUT-side view: a RateWindow over the MAC counters, the consumer
+    // the host's §4.3 polling loop would run.
+    let totals = |sys: &rosebud_core::Rosebud| {
+        let mut sum = sys.port_counters(0);
+        let c1 = sys.port_counters(1);
+        sum.rx_bytes += c1.rx_bytes;
+        sum.rx_frames += c1.rx_frames;
+        sum.tx_bytes += c1.tx_bytes;
+        sum.tx_frames += c1.tx_frames;
+        sum
+    };
+    let mut window = RateWindow::new(h.sys.now(), totals(&h.sys));
+    h.begin_window();
+    h.run(30_000);
+    let m = h.measure();
+    let rate = window.sample(h.sys.now(), totals(&h.sys));
+    Throughput {
+        size,
+        gbps: m.gbps,
+        mpps: m.mpps,
+        counter_rx_bits_per_cycle: rate.rx_bits_per_cycle(),
+    }
+}
+
+struct Latency {
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+fn latency_point() -> Latency {
+    // Light load so queueing does not dominate: the paper's RTT experiment
+    // (§6.2) measures the pipeline, not a saturated FIFO.
+    let sys = build_forwarding_system(16).expect("valid config");
+    let (_, mut h) = measure(sys, Box::new(FixedSizeGen::new(512, 2)), 20.0, 20_000, 30_000);
+    Latency {
+        p50_ns: h.latency().percentile(50.0),
+        p99_ns: h.latency().percentile(99.0),
+    }
+}
+
+struct Recovery {
+    detection_latency_cycles: u64,
+    downtime_cycles: u64,
+    packets_purged: u64,
+}
+
+fn recovery_point() -> Recovery {
+    // The §3.4 scenario the recovery bench uses: hang RPU 3 under live
+    // traffic and let the supervisor walk its ladder.
+    let mut sys = build_watchdog_forwarding_system(8, 64).expect("valid config");
+    sys.install_fault_plan(FaultPlan::new(1).at(50_000, FaultKind::FirmwareHang { rpu: 3 }));
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(64, 2)), 205.0);
+    let mut sup = Supervisor::with_config(
+        &h.sys,
+        SupervisorConfig {
+            drain_timeout: 4_000,
+            ..SupervisorConfig::default()
+        },
+    );
+    for _ in 0..120_000 {
+        h.tick();
+        sup.poll(&mut h.sys);
+    }
+    let ev = h.sys.recovery_log()[0];
+    Recovery {
+        detection_latency_cycles: ev.detection_latency.unwrap_or_default(),
+        downtime_cycles: ev.downtime,
+        packets_purged: ev.packets_purged,
+    }
+}
+
+fn main() {
+    let throughput: Vec<Throughput> = [64, 1500].into_iter().map(throughput_point).collect();
+    let latency = latency_point();
+    let recovery = recovery_point();
+
+    let mut json = String::from("{\n  \"benchmark\": \"rosebud\",\n  \"throughput\": [\n");
+    for (i, t) in throughput.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"frame_bytes\": {}, \"gbps\": {}, \"mpps\": {}, \
+             \"counter_rx_bits_per_cycle\": {}}}{}\n",
+            t.size,
+            json_f64(t.gbps),
+            json_f64(t.mpps),
+            json_f64(t.counter_rx_bits_per_cycle),
+            if i + 1 < throughput.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"latency\": {{\"p50_ns\": {}, \"p99_ns\": {}}},\n",
+        json_f64(latency.p50_ns),
+        json_f64(latency.p99_ns),
+    ));
+    json.push_str(&format!(
+        "  \"recovery\": {{\"detection_latency_cycles\": {}, \"downtime_cycles\": {}, \
+         \"packets_purged\": {}}}\n}}\n",
+        recovery.detection_latency_cycles, recovery.downtime_cycles, recovery.packets_purged,
+    ));
+
+    let path = bench_output_path("BENCH_rosebud.json");
+    std::fs::write(&path, &json).expect("write benchmark summary");
+    println!("wrote {}", path.display());
+    print!("{json}");
+}

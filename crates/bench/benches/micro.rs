@@ -7,7 +7,7 @@ use rosebud_accel::{AhoCorasick, Pattern};
 use rosebud_apps::forwarder::build_forwarding_system;
 use rosebud_apps::rules::{attack_trace, compile, synthetic_rules};
 use rosebud_apps::snort::CpuMatcher;
-use rosebud_core::Harness;
+use rosebud_core::{Harness, TraceConfig};
 use rosebud_net::{FixedSizeGen, TrafficGen};
 use rosebud_riscv::{assemble, Cpu, RamBus, StepResult};
 
@@ -108,11 +108,44 @@ fn bench_system_tick(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tracing_overhead(c: &mut Criterion) {
+    // The tentpole claim: tracing disabled is free (an `Option` that is
+    // `None` on every hook), and even enabled the tick rate stays usable.
+    let mut group = c.benchmark_group("tracing_overhead");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("disabled", |b| {
+        let sys = build_forwarding_system(16).unwrap();
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 200.0);
+        h.run(20_000);
+        b.iter(|| {
+            h.run(1000);
+            h.received()
+        })
+    });
+    group.bench_function("enabled", |b| {
+        let mut sys = build_forwarding_system(16).unwrap();
+        sys.enable_tracing(TraceConfig {
+            // Bound memory for a long criterion run; drops are counted, not
+            // silently lost.
+            max_events: 1 << 16,
+            ..TraceConfig::default()
+        });
+        let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 200.0);
+        h.run(20_000);
+        b.iter(|| {
+            h.run(1000);
+            h.received()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_aho_corasick,
     bench_cpu_matcher_trace,
     bench_riscv_iss,
-    bench_system_tick
+    bench_system_tick,
+    bench_tracing_overhead
 );
 criterion_main!(benches);

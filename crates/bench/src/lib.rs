@@ -42,6 +42,28 @@ pub fn heading(title: &str) {
     println!("{}", "-".repeat(title.len() + 6));
 }
 
+/// Resolves the destination for machine-readable benchmark artifacts:
+/// `$ROSEBUD_BENCH_OUT` when set, otherwise `default_name` in the workspace
+/// root (two levels above this crate's manifest).
+pub fn bench_output_path(default_name: &str) -> std::path::PathBuf {
+    match std::env::var_os("ROSEBUD_BENCH_OUT") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(default_name),
+    }
+}
+
+/// Formats an `f64` for JSON output: finite values with enough precision to
+/// round-trip usefully, non-finite values as `null` (JSON has no NaN).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_owned()
+    }
+}
+
 /// Formats a measured-vs-paper pair with a deviation marker.
 pub fn versus(measured: f64, paper: f64) -> String {
     if paper == 0.0 {

@@ -6,6 +6,7 @@
 use rosebud_kernel::Counters;
 
 use crate::fault::Ledger;
+use crate::rpu::PerfCounters;
 use crate::supervisor::RecoveryEvent;
 use crate::system::Rosebud;
 
@@ -73,6 +74,9 @@ pub struct Diagnostics {
     pub rpus: Vec<Counters>,
     /// Per-RPU free slots as the LB sees them.
     pub free_slots: Vec<usize>,
+    /// Per-RPU hardware performance counters (§4.3): instructions retired,
+    /// stall cycles, memory-port wait cycles.
+    pub perf: Vec<PerfCounters>,
     /// Cycles the LB spent unable to place a head-of-line packet.
     pub lb_stall_cycles: u64,
     /// Packets the LB has placed.
@@ -104,6 +108,13 @@ impl Diagnostics {
                 out,
                 "RPU {r}: rx {} tx {} drops {} / {} free slots",
                 c.rx_frames, c.tx_frames, c.drops, free
+            );
+        }
+        for (r, p) in self.perf.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "RPU {r} perf: {} retired / {} stall cycles / {} mem-wait / {} backpressure",
+                p.instret, p.stall_cycles, p.mem_wait_cycles, p.backpressure_stalls
             );
         }
         for ev in &self.recoveries {
@@ -152,6 +163,8 @@ impl Rosebud {
         let free_slots: Vec<usize> = (0..self.cfg.num_rpus)
             .map(|r| self.tracker().free_count(r))
             .collect();
+        let perf: Vec<PerfCounters> =
+            (0..self.cfg.num_rpus).map(|r| self.rpus()[r].perf()).collect();
 
         let bottleneck = self.classify(&ports, &rx_fifo_bytes, &rpus, &free_slots);
         Diagnostics {
@@ -159,6 +172,7 @@ impl Rosebud {
             rx_fifo_bytes,
             rpus,
             free_slots,
+            perf,
             lb_stall_cycles: self.lb_stall_cycles(),
             lb_assigned: self.lb_assigned(),
             ledger: self.ledger(),

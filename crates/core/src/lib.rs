@@ -58,6 +58,7 @@ mod rpu;
 mod supervisor;
 mod system;
 mod testbench;
+mod trace;
 mod types;
 
 pub use config::RosebudConfig;
@@ -67,8 +68,9 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, Ledger};
 pub use harness::{Harness, Measurement};
 pub use host::{lb_regs, pr_reload_model, MemRegion, PrTimingModel};
 pub use lb::{HashLb, LeastLoadedLb, LoadBalancer, RoundRobinLb, SlotTracker};
-pub use rpu::{Firmware, Rpu, RpuInner, RpuIo, RpuState};
+pub use rpu::{Firmware, PerfCounters, Rpu, RpuInner, RpuIo, RpuState};
 pub use supervisor::{RecoveryEvent, Supervisor, SupervisorConfig};
 pub use system::{AccelFactory, FirmwareFactory, Rosebud, RosebudBuilder, RpuProgram};
 pub use testbench::{PacketReport, RpuTestbench, TxRecord};
+pub use trace::{SupervisorStep, TraceConfig, TraceEvent, Tracer};
 pub use types::{irq, memmap, port, BcastMsg, Desc, HostDmaReq, SlotMeta, SELF_TAG};

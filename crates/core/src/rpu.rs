@@ -98,6 +98,31 @@ pub enum RpuState {
     Stopped,
 }
 
+/// The host-sampled hardware performance counters of one RPU (§4.3): where
+/// the region's cycles went, alongside the interface counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Core cycles consumed by firmware (execution + charged stalls).
+    pub sw_cycles: u64,
+    /// Instructions retired (RV32 `minstret`; ticks for native firmware).
+    pub instret: u64,
+    /// Cycles the core sat in multi-cycle instruction stalls or charged
+    /// native-firmware work — `sw_cycles` minus the issue cycles.
+    pub stall_cycles: u64,
+    /// Wait-state cycles lost to memory-port contention (the shared URAM
+    /// packet-memory port of §4.1). RV32 engines only.
+    pub mem_wait_cycles: u64,
+    /// Backpressure stalls charged at the interconnect (full egress queue,
+    /// full broadcast FIFO).
+    pub backpressure_stalls: u64,
+    /// Frames DMA-delivered into the region.
+    pub rx_frames: u64,
+    /// Frames the region committed for egress.
+    pub tx_frames: u64,
+    /// Frames the region dropped.
+    pub drops: u64,
+}
+
 /// Memory, queues, and interconnect registers of one RPU — everything both
 /// firmware kinds talk to.
 pub struct RpuInner {
@@ -740,6 +765,11 @@ pub struct Rpu {
     state: RpuState,
     /// Firmware cycles spent and packets handled (Fig. 9 accounting).
     sw_cycles: u64,
+    /// Share of `sw_cycles` spent consuming stall cycles rather than issuing.
+    stalled_cycles: u64,
+    /// Per-PC cycle attribution, when profiling is enabled (§4.3 firmware
+    /// profile). `BTreeMap` for deterministic iteration order.
+    profile: Option<std::collections::BTreeMap<u32, u64>>,
     pub(crate) boot_image: Option<Image>,
     /// Injected-fault wedge: the core spins without retiring useful work
     /// (§3.4 — the hang class the watchdog exists to catch).
@@ -768,6 +798,8 @@ impl Rpu {
             stall: 0,
             state: RpuState::Stopped,
             sw_cycles: 0,
+            stalled_cycles: 0,
+            profile: None,
             boot_image: None,
             hung: false,
             crashed: false,
@@ -895,6 +927,41 @@ impl Rpu {
         self.sw_cycles
     }
 
+    /// Snapshot of the host-visible hardware performance counters (§4.3).
+    pub fn perf(&self) -> PerfCounters {
+        let c = self.inner.counters();
+        let (instret, mem_wait_cycles) = match &self.engine {
+            Engine::Riscv(cpu) => (cpu.instret(), cpu.mem_wait_cycles()),
+            Engine::Native(_) => (self.sw_cycles - self.stalled_cycles, 0),
+            Engine::Empty => (0, 0),
+        };
+        PerfCounters {
+            sw_cycles: self.sw_cycles,
+            instret,
+            stall_cycles: self.stalled_cycles,
+            mem_wait_cycles,
+            backpressure_stalls: c.stall_cycles,
+            rx_frames: c.rx_frames,
+            tx_frames: c.tx_frames,
+            drops: c.drops,
+        }
+    }
+
+    /// Turns on per-PC cycle attribution for the RV32 engine. Idempotent;
+    /// the accumulated profile survives reloads (it is host-side state).
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(std::collections::BTreeMap::new());
+        }
+    }
+
+    /// The per-PC cycle profile: cycles charged at each program counter.
+    /// `None` until [`Rpu::enable_profiling`]; empty for native firmware
+    /// (which has no PCs to attribute).
+    pub fn pc_profile(&self) -> Option<&std::collections::BTreeMap<u32, u64>> {
+        self.profile.as_ref()
+    }
+
     /// Whether the core halted on `ebreak` or a fault.
     pub fn is_halted(&self) -> bool {
         if self.crashed {
@@ -989,14 +1056,22 @@ impl Rpu {
         if self.stall > 0 {
             self.stall -= 1;
             self.sw_cycles += 1;
+            self.stalled_cycles += 1;
         } else {
             match &mut self.engine {
                 Engine::Riscv(cpu) => {
+                    let pc = cpu.pc();
                     let mut bus = InnerBus(&mut self.inner);
                     match cpu.step(&mut bus) {
                         StepResult::Executed { cycles } => {
                             self.stall += u64::from(cycles.saturating_sub(1));
                             self.sw_cycles += 1;
+                            if let Some(profile) = &mut self.profile {
+                                // Attribute the instruction's full cost here;
+                                // the stall-consumption ticks that follow are
+                                // this same instruction's tail.
+                                *profile.entry(pc).or_insert(0) += u64::from(cycles);
+                            }
                         }
                         StepResult::Ecall => {
                             self.sw_cycles += 1;

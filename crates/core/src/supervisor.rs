@@ -35,6 +35,7 @@ use rosebud_kernel::Cycle;
 use crate::diag::RpuFaultKind;
 use crate::rpu::RpuState;
 use crate::system::Rosebud;
+use crate::trace::SupervisorStep;
 
 /// Tuning knobs for the supervisor's detection and recovery ladder.
 #[derive(Debug, Clone, Copy)]
@@ -225,10 +226,12 @@ impl Supervisor {
                     && rpu.sw_cycles() > self.watch[r].last_sw_cycles
                     && rpu.watchdog_fires() == self.watch[r].last_watchdog_fires;
                 if alive && self.watch[r].kind != RpuFaultKind::Dropping {
+                    sys.trace_supervisor(r, SupervisorStep::FalseAlarm);
                     sys.enable_rpu(r);
                     self.finish(sys, r, now, /* rebooted */ false);
                 } else {
                     // Rung 2: graceful eviction with a bounded drain.
+                    sys.trace_supervisor(r, SupervisorStep::DrainStarted);
                     sys.reconfigure_rpu_gated(r);
                     self.watch[r].rung = Rung::Draining {
                         deadline: now + self.cfg.drain_timeout,
@@ -238,6 +241,7 @@ impl Supervisor {
             Rung::Draining { deadline } => {
                 if matches!(sys.rpus()[r].state(), RpuState::Reconfiguring { .. }) {
                     // Drain completed; the PR write is underway.
+                    sys.trace_supervisor(r, SupervisorStep::Reloading);
                     self.watch[r].rung = Rung::Reloading;
                 } else if now >= deadline {
                     // Rung 3: the region will never drain — destroy its
@@ -245,12 +249,20 @@ impl Supervisor {
                     self.watch[r].purged = sys.force_reconfigure_rpu(r);
                     self.watch[r].forced = true;
                     self.watch[r].rung = Rung::Reloading;
+                    sys.trace_supervisor(
+                        r,
+                        SupervisorStep::ForcedEvict {
+                            purged: self.watch[r].purged,
+                        },
+                    );
+                    sys.trace_supervisor(r, SupervisorStep::Reloading);
                 }
             }
             Rung::Reloading => {
                 if !sys.reconfigure_pending(r) {
                     // Rung 4 happened inside `finish_reconfigure`: the
                     // factory firmware booted. Verify before re-enabling.
+                    sys.trace_supervisor(r, SupervisorStep::Verifying);
                     self.watch[r].rung = Rung::Rebooting {
                         sw0: sys.rpus()[r].sw_cycles(),
                     };
@@ -264,13 +276,17 @@ impl Supervisor {
                 if verified {
                     // Rung 5: the region demonstrably rebooted — only now
                     // does it get traffic again.
+                    sys.trace_supervisor(r, SupervisorStep::Reenabled);
                     sys.enable_rpu(r);
                     self.finish(sys, r, now, /* rebooted */ true);
                 } else if rpu.is_halted() {
                     // The fresh firmware died on boot: reload again.
-                    self.watch[r].purged += sys.force_reconfigure_rpu(r);
+                    let purged = sys.force_reconfigure_rpu(r);
+                    self.watch[r].purged += purged;
                     self.watch[r].forced = true;
                     self.watch[r].rung = Rung::Reloading;
+                    sys.trace_supervisor(r, SupervisorStep::ForcedEvict { purged });
+                    sys.trace_supervisor(r, SupervisorStep::Reloading);
                 }
             }
         }
@@ -326,6 +342,7 @@ impl Supervisor {
             w.stalled_polls = 0;
             // Rung 1: stop routing traffic to it *now* (graceful
             // degradation across the remaining RPUs) and poke it.
+            sys.trace_supervisor(r, SupervisorStep::Detected(kind));
             sys.disable_rpu(r);
             sys.poke(r);
             w.rung = Rung::Poked;

@@ -12,6 +12,7 @@ use crate::fault::{FaultKind, FaultPlan, FaultState, Ledger};
 use crate::lb::{LoadBalancer, SlotTracker};
 use crate::rpu::{Firmware, Rpu};
 use crate::supervisor::RecoveryEvent;
+use crate::trace::{SupervisorStep, TraceConfig, TraceEvent, Tracer};
 use crate::types::{irq, port, HostDmaReq, SlotMeta, SELF_TAG};
 
 /// How often [`Rosebud::tick`] re-asserts the packet-conservation ledger.
@@ -152,6 +153,7 @@ impl RosebudBuilder {
             fault: None,
             ledger: Ledger::default(),
             recovery_log: Vec::new(),
+            tracer: None,
             cfg,
         })
     }
@@ -207,6 +209,24 @@ pub struct Rosebud {
     /// Completed recovery records, written by the supervisor over the host
     /// interface.
     pub(crate) recovery_log: Vec<RecoveryEvent>,
+    /// The cycle-stamped event recorder, when tracing is enabled (§4.3).
+    pub(crate) tracer: Option<Tracer>,
+}
+
+/// The trace-facing name of an RPU's lifecycle state.
+fn rpu_state_name(rpu: &Rpu) -> &'static str {
+    match rpu.state() {
+        crate::rpu::RpuState::Running => "running",
+        crate::rpu::RpuState::Draining => "draining",
+        crate::rpu::RpuState::Reconfiguring { .. } => "reconfiguring",
+        crate::rpu::RpuState::Stopped => {
+            if rpu.is_halted() {
+                "halted"
+            } else {
+                "stopped"
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Rosebud {
@@ -422,6 +442,15 @@ impl Rosebud {
                     self.tracker.release(r, item.slot);
                     self.routed_drops += 1;
                     self.ledger.dropped += 1;
+                } else if let Some(t) = self.tracer.as_mut() {
+                    t.record(
+                        now,
+                        TraceEvent::DescRx {
+                            rpu: r as u8,
+                            slot: item.slot,
+                            len: item.bytes.len() as u32,
+                        },
+                    );
                 }
             }
         }
@@ -445,7 +474,27 @@ impl Rosebud {
                         self.ledger.dropped += 1;
                     }
                     self.routed_drops += 1;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.record(
+                            now,
+                            TraceEvent::DescDrop {
+                                rpu: r as u8,
+                                tag: desc.tag,
+                            },
+                        );
+                    }
                     continue;
+                }
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(
+                        now,
+                        TraceEvent::DescTx {
+                            rpu: r as u8,
+                            tag: desc.tag,
+                            port: desc.port,
+                            len: bytes.len() as u32,
+                        },
+                    );
                 }
                 let len = bytes.len() as u64;
                 self.rpu_out[r]
@@ -519,6 +568,9 @@ impl Rosebud {
             }
             for r in 0..self.rpus.len() {
                 if let Some(req) = self.rpus[r].inner_mut().take_dma_req() {
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.dma_started(now, r, req.to_host, req.len);
+                    }
                     self.host_dma_delay.push((r, req), now);
                 }
             }
@@ -539,6 +591,9 @@ impl Rosebud {
                 }
                 self.rpus[r].inner_mut().dma_complete();
                 self.rpus[r].raise_irq(irq::DMA);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.dma_completed(now, r);
+                }
             }
         }
 
@@ -562,6 +617,13 @@ impl Rosebud {
 
         // 12. Partial-reconfiguration jobs.
         self.advance_pr_jobs(now);
+
+        // Periodic trace scans: FIFO high-water marks, lifecycle
+        // transitions, enable-mask changes, counter samples. Zero work when
+        // tracing is off.
+        if self.tracer.is_some() {
+            self.trace_periodic(now);
+        }
 
         // Packet conservation is a standing invariant, not a test-only one:
         // losing track of frames during fault recovery must fail loudly.
@@ -635,6 +697,18 @@ impl Rosebud {
             orig_len: pkt.len() as u32,
         };
         self.lb_assigned += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(
+                now,
+                TraceEvent::LbAssign {
+                    port: p as u8,
+                    rpu: rpu as u8,
+                    slot,
+                    packet_id: meta.packet_id,
+                    len: meta.orig_len,
+                },
+            );
+        }
         self.ingress_delay.push(
             IngressItem {
                 rpu,
@@ -688,6 +762,18 @@ impl Rosebud {
             orig_len: pkt.len() as u32,
         };
         self.lb_assigned += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(
+                now,
+                TraceEvent::LbAssign {
+                    port: port::HOST,
+                    rpu: rpu as u8,
+                    slot,
+                    packet_id: meta.packet_id,
+                    len: meta.orig_len,
+                },
+            );
+        }
         self.ingress_delay.push(
             IngressItem {
                 rpu,
@@ -960,5 +1046,73 @@ impl Rosebud {
     /// The active LB policy's name.
     pub fn lb_name(&self) -> &str {
         self.lb.name()
+    }
+
+    /// Installs a [`Tracer`], replacing any previous one. When
+    /// `cfg.pc_profile` is set, also turns on per-PC cycle attribution for
+    /// every RPU's RV32 core.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        if cfg.pc_profile {
+            for rpu in &mut self.rpus {
+                rpu.enable_profiling();
+            }
+        }
+        self.tracer = Some(Tracer::new(cfg, self.rpus.len(), self.ports.len()));
+    }
+
+    /// The installed tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Removes and returns the tracer (export, then tracing is off again).
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// Records a supervisor recovery-ladder step against `rpu`. Called by
+    /// [`crate::Supervisor`] at every rung transition; a no-op when tracing
+    /// is off.
+    pub fn trace_supervisor(&mut self, rpu: usize, step: SupervisorStep) {
+        let now = self.clock.cycle();
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(
+                now,
+                TraceEvent::Supervisor {
+                    rpu: rpu as u8,
+                    step,
+                },
+            );
+        }
+    }
+
+    /// The per-RPU periodic trace pass: FIFO high-water marks, lifecycle
+    /// transitions, LB-mask changes, and counter samples on the configured
+    /// interval.
+    fn trace_periodic(&mut self, now: Cycle) {
+        let Some(mut t) = self.tracer.take() else {
+            return;
+        };
+        for p in 0..self.ports.len() {
+            t.note_rx_fifo(now, p, self.ports[p].rx_fifo.bytes());
+            t.note_tx_fifo(now, p, self.ports[p].tx_delay.len() as u32);
+        }
+        for r in 0..self.rpus.len() {
+            t.note_state(now, r, rpu_state_name(&self.rpus[r]));
+        }
+        t.note_mask(now, self.enabled);
+        let interval = t.config().counter_interval;
+        if interval != 0 && now.is_multiple_of(interval) {
+            for r in 0..self.rpus.len() {
+                t.record(
+                    now,
+                    TraceEvent::CounterSample {
+                        rpu: r as u8,
+                        perf: self.rpus[r].perf(),
+                    },
+                );
+            }
+        }
+        self.tracer = Some(t);
     }
 }

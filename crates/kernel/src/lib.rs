@@ -45,7 +45,7 @@ pub use delay::DelayLine;
 pub use fifo::Fifo;
 pub use rng::SimRng;
 pub use serializer::Serializer;
-pub use stats::{Counters, Histogram, LatencyStats};
+pub use stats::{Counters, Histogram, LatencyStats, RateSample, RateWindow};
 
 /// Converts a cycle count at `freq_hz` into nanoseconds.
 ///

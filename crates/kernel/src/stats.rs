@@ -62,6 +62,96 @@ impl Counters {
         self.drops += other.drops;
         self.stall_cycles += other.stall_cycles;
     }
+
+    /// The counter growth since an `earlier` snapshot. Saturating per field,
+    /// so a counter reset between snapshots yields zero rather than a bogus
+    /// huge delta.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            rx_bytes: self.rx_bytes.saturating_sub(earlier.rx_bytes),
+            rx_frames: self.rx_frames.saturating_sub(earlier.rx_frames),
+            tx_bytes: self.tx_bytes.saturating_sub(earlier.tx_bytes),
+            tx_frames: self.tx_frames.saturating_sub(earlier.tx_frames),
+            drops: self.drops.saturating_sub(earlier.drops),
+            stall_cycles: self.stall_cycles.saturating_sub(earlier.stall_cycles),
+        }
+    }
+}
+
+/// One sampling interval produced by [`RateWindow::sample`]: the cycle span
+/// and the counter growth inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateSample {
+    /// Cycles elapsed since the previous sample (full 64-bit — windows that
+    /// straddle the 2^32 cycle mark, ~17 s of simulated time at 250 MHz,
+    /// must not wrap).
+    pub cycles: u64,
+    /// Counter deltas over the window.
+    pub delta: Counters,
+}
+
+impl RateSample {
+    /// Received bits per cycle over the window; 0.0 for an empty window.
+    pub fn rx_bits_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.delta.rx_bytes as f64 * 8.0 / self.cycles as f64
+    }
+
+    /// Transmitted bits per cycle over the window; 0.0 for an empty window.
+    pub fn tx_bits_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.delta.tx_bytes as f64 * 8.0 / self.cycles as f64
+    }
+}
+
+/// Windowed rate sampler over [`Counters`], keyed on the 64-bit simulation
+/// cycle.
+///
+/// All arithmetic is u64 end to end: cycle deltas are *not* narrowed to u32
+/// anywhere, so long-running simulations (past 2^32 cycles) keep producing
+/// correct rates instead of silently wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_kernel::{Counters, RateWindow};
+/// let mut c = Counters::default();
+/// let mut w = RateWindow::new(0, c);
+/// c.count_rx_frame(1000);
+/// let s = w.sample(4000, c);
+/// assert_eq!(s.cycles, 4000);
+/// assert_eq!(s.rx_bits_per_cycle(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RateWindow {
+    last_cycle: u64,
+    last: Counters,
+}
+
+impl RateWindow {
+    /// Opens a window at `now` with baseline `counters`.
+    pub fn new(now: u64, counters: Counters) -> Self {
+        Self {
+            last_cycle: now,
+            last: counters,
+        }
+    }
+
+    /// Closes the current window at `now`, returning the sample, and opens
+    /// the next one.
+    pub fn sample(&mut self, now: u64, counters: Counters) -> RateSample {
+        let sample = RateSample {
+            cycles: now.saturating_sub(self.last_cycle),
+            delta: counters.since(&self.last),
+        };
+        self.last_cycle = now;
+        self.last = counters;
+        sample
+    }
 }
 
 /// Online aggregation of latency samples in nanoseconds.
@@ -240,6 +330,52 @@ mod tests {
         assert_eq!(a.tx_frames, 1);
         assert_eq!(a.drops, 1);
         assert_eq!(a.stall_cycles, 7);
+    }
+
+    #[test]
+    fn counters_since() {
+        let mut a = Counters::default();
+        a.count_rx_frame(100);
+        a.count_rx_frame(100);
+        let snap = a;
+        a.count_rx_frame(50);
+        a.count_drop();
+        let d = a.since(&snap);
+        assert_eq!(d.rx_frames, 1);
+        assert_eq!(d.rx_bytes, 50);
+        assert_eq!(d.drops, 1);
+        // A reset (smaller) counter saturates to zero instead of wrapping.
+        assert_eq!(Counters::default().since(&a).rx_bytes, 0);
+    }
+
+    #[test]
+    fn rate_window_survives_the_u32_cycle_boundary() {
+        // 2^32 cycles is only ~17 s of simulated time at 250 MHz; a window
+        // that straddles it must report the true span, not a wrapped u32.
+        let boundary = 1u64 << 32;
+        let mut c = Counters::default();
+        let mut w = RateWindow::new(boundary - 1_000, c);
+        c.count_rx_frame(64_000);
+        c.count_tx_frame(64_000);
+        let s = w.sample(boundary + 1_000, c);
+        assert_eq!(s.cycles, 2_000, "cycle delta wrapped at 2^32");
+        assert_eq!(s.rx_bits_per_cycle(), 64_000.0 * 8.0 / 2_000.0);
+        // And the next window continues from the far side of the boundary.
+        c.count_tx_frame(500);
+        let s2 = w.sample(boundary + 2_000, c);
+        assert_eq!(s2.cycles, 1_000);
+        assert_eq!(s2.delta.tx_frames, 1);
+        assert_eq!(s2.delta.tx_bytes, 500);
+    }
+
+    #[test]
+    fn rate_window_empty_span_is_zero_rate() {
+        let c = Counters::default();
+        let mut w = RateWindow::new(42, c);
+        let s = w.sample(42, c);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.rx_bits_per_cycle(), 0.0);
+        assert_eq!(s.tx_bits_per_cycle(), 0.0);
     }
 
     #[test]

@@ -218,6 +218,7 @@ pub struct Cpu {
     mscratch: u32,
     cycles: u64,
     instret: u64,
+    mem_waits: u64,
     cost: CostModel,
     halted: Halt,
 }
@@ -245,6 +246,7 @@ impl Cpu {
             mscratch: 0,
             cycles: 0,
             instret: 0,
+            mem_waits: 0,
             cost: CostModel::default(),
             halted: Halt::Running,
         }
@@ -289,6 +291,13 @@ impl Cpu {
     /// Total instructions retired so far.
     pub fn instret(&self) -> u64 {
         self.instret
+    }
+
+    /// Total wait-state cycles paid to the memory system beyond the
+    /// pipeline's base load/store cost — the memory-port-contention share of
+    /// [`Cpu::cycles`] (the URAM arbitration loss of paper §4.1).
+    pub fn mem_wait_cycles(&self) -> u64 {
+        self.mem_waits
     }
 
     /// `true` when halted by `ebreak` or a fault.
@@ -492,6 +501,7 @@ impl Cpu {
                     LoadOp::Lw => loaded.value,
                 };
                 self.set_reg(rd, value);
+                self.mem_waits += u64::from(loaded.wait_cycles);
                 cycles = self.cost.load + loaded.wait_cycles;
             }
             Instr::Store { op, rs1, rs2, imm } => {
@@ -502,7 +512,10 @@ impl Cpu {
                     StoreOp::Sw => AccessSize::Word,
                 };
                 match bus.store(addr, self.reg(rs2), size) {
-                    Ok(wait) => cycles = self.cost.store + wait,
+                    Ok(wait) => {
+                        self.mem_waits += u64::from(wait);
+                        cycles = self.cost.store + wait;
+                    }
                     Err(f) => fault!(f),
                 }
             }

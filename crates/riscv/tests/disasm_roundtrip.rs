@@ -1,0 +1,168 @@
+//! Round-trip coverage for the disassembler: every opcode the assembler can
+//! emit must decode, re-encode to the identical word, and disassemble into
+//! text the assembler accepts back to the same word. This is what makes the
+//! §3.4 debug dumps trustworthy — a listing you cannot reassemble is a
+//! listing you cannot trust.
+
+use rosebud_riscv::{assemble, decode, disassemble, encode};
+
+/// One canonical instance of every mnemonic (real and pseudo) the assembler
+/// handles. Pseudo-instructions expand to base opcodes, so this sweeps every
+/// encodable instruction form through the decode/disasm/asm loop.
+const CANONICAL: &[&str] = &[
+    // U/J/I-type primaries
+    "lui t0, 8192",
+    "lui t1, -1",
+    "auipc a0, 16",
+    "jal ra, 2048",
+    "jal zero, -44",
+    "jalr ra, t0, 8",
+    "jalr zero, ra, 0",
+    // branches (direct and swapped-operand pseudo forms)
+    "beq a0, a1, 16",
+    "bne a0, a1, -16",
+    "blt s0, s1, 32",
+    "bge s0, s1, -32",
+    "bltu t3, t4, 64",
+    "bgeu t3, t4, -64",
+    "bgt a0, a1, 16",
+    "ble a0, a1, 16",
+    "bgtu a0, a1, 16",
+    "bleu a0, a1, 16",
+    "beqz a0, 8",
+    "bnez a1, -8",
+    "bltz a2, 12",
+    "bgez a3, -12",
+    "bgtz a4, 20",
+    "blez a5, -20",
+    // loads and stores, signed/unsigned, all widths
+    "lb a0, 0(sp)",
+    "lh a1, 2(sp)",
+    "lw a2, 4(sp)",
+    "lbu a3, -1(s0)",
+    "lhu a4, 6(gp)",
+    "sb a0, 0(sp)",
+    "sh a1, 2(sp)",
+    "sw a2, -4(s0)",
+    // ALU immediate (with negative and boundary immediates)
+    "addi a0, a1, -2048",
+    "addi a0, a1, 2047",
+    "slti t0, t1, -5",
+    "sltiu t0, t1, 5",
+    "xori s2, s3, 255",
+    "ori s4, s5, -256",
+    "andi s6, s7, 15",
+    "slli a0, a0, 1",
+    "slli a0, a0, 31",
+    "srli a1, a1, 16",
+    "srai a2, a2, 7",
+    // ALU register
+    "add a0, a1, a2",
+    "sub t0, t1, t2",
+    "sll s0, s1, s2",
+    "slt a3, a4, a5",
+    "sltu a6, a7, t0",
+    "xor t3, t4, t5",
+    "srl t6, s0, s1",
+    "sra s2, s3, s4",
+    "or s5, s6, s7",
+    "and s8, s9, s10",
+    // M extension
+    "mul a0, a1, a2",
+    "mulh a3, a4, a5",
+    "mulhsu t0, t1, t2",
+    "mulhu t3, t4, t5",
+    "div s0, s1, s2",
+    "divu s3, s4, s5",
+    "rem s6, s7, s8",
+    "remu s9, s10, s11",
+    // system
+    "fence",
+    "ecall",
+    "ebreak",
+    "mret",
+    "wfi",
+    // CSR, register and immediate forms, named and numeric CSRs
+    "csrrw t0, mtvec, t1",
+    "csrrs t2, mstatus, t3",
+    "csrrc t4, mie, t5",
+    "csrrwi a0, mscratch, 31",
+    "csrrsi a1, mip, 1",
+    "csrrci a2, mcause, 0",
+    "csrrw zero, 773, t3",
+    // pseudo-instructions (expand to the base forms above)
+    "nop",
+    "li a0, 42",
+    "li a1, -1",
+    "li a2, 0x02000000",
+    "mv a0, a1",
+    "not a2, a3",
+    "neg a4, a5",
+    "seqz a6, a7",
+    "snez t0, t1",
+    "j 16",
+    "jr t0",
+    "ret",
+    "csrr a0, mcycle",
+    "csrw mtvec, t0",
+    "csrs mie, t1",
+    "csrc mip, t2",
+    "csrwi mscratch, 7",
+    "csrsi mstatus, 8",
+    "csrci mie, 2",
+];
+
+#[test]
+fn every_assembler_opcode_round_trips_through_the_disassembler() {
+    for src in CANONICAL {
+        let image = assemble(src).unwrap_or_else(|e| panic!("{src:?} must assemble: {e:?}"));
+        let words = image.words();
+        assert!(!words.is_empty(), "{src:?} emitted no code");
+        for (i, &word) in words.iter().enumerate() {
+            let instr =
+                decode(word).unwrap_or_else(|e| panic!("{src:?} word {i} must decode: {e:?}"));
+            assert_eq!(
+                encode(instr),
+                Ok(word),
+                "{src:?} word {i}: encode(decode(w)) must be the identity"
+            );
+            let text = disassemble(instr);
+            // Re-assemble the listing at the same pc offset so pc-relative
+            // immediates resolve identically.
+            let reasm = assemble(&format!(".org {}\n{text}", 4 * i))
+                .unwrap_or_else(|e| panic!("{src:?}: disassembly {text:?} must reassemble: {e:?}"));
+            assert_eq!(
+                reasm.words().last().copied(),
+                Some(word),
+                "{src:?}: {text:?} must reassemble to {word:#010x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn disassembler_output_is_stable_for_key_forms() {
+    let check = |src: &str, expect: &str| {
+        let word = assemble(src).unwrap().words()[0];
+        assert_eq!(disassemble(decode(word).unwrap()), expect, "for {src:?}");
+    };
+    check("lw a0, 0(t0)", "lw a0, 0(t0)");
+    check("addi s0, zero, 0", "addi s0, zero, 0");
+    check("beqz a0, -8", "beq a0, zero, -8");
+    check("j -44", "jal zero, -44");
+    check("ebreak", "ebreak");
+}
+
+#[test]
+fn subi_is_rejected_with_guidance() {
+    let err = assemble("subi a0, a0, 1").expect_err("subi must not assemble");
+    let msg = format!("{err:?}");
+    assert!(
+        msg.contains("does not exist in RV32"),
+        "the rejection must explain itself: {msg}"
+    );
+    assert!(
+        msg.contains("addi"),
+        "the rejection must point at the fix: {msg}"
+    );
+}

@@ -1,10 +1,16 @@
 //! Software-like debuggability (§3.4, A.7): status registers, the 64-bit
 //! debug channel, poke interrupts, breakpoints (`ebreak`), memory dumps,
-//! and disassembly of a halted RPU.
+//! disassembly of a halted RPU — and the §4.3 observability layer: a
+//! cycle-stamped trace of a supervised fault-recovery run exported as
+//! Perfetto-loadable `trace.json`, plus a per-PC firmware profile.
 //!
 //! Run with: `cargo run --release --example debugging`
 
-use rosebud::core::{Harness, MemRegion, Rosebud, RosebudConfig, RoundRobinLb, RpuProgram};
+use rosebud::apps::forwarder::watchdog_forwarder_asm;
+use rosebud::core::{
+    Desc, FaultKind, FaultPlan, Firmware, Harness, MemRegion, Rosebud, RosebudConfig,
+    RoundRobinLb, RpuIo, RpuProgram, Supervisor, SupervisorConfig, TraceConfig, TraceEvent,
+};
 use rosebud::net::FixedSizeGen;
 use rosebud::riscv::{assemble, disassemble_image, Reg};
 
@@ -97,6 +103,118 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nwhile RPU 2 is parked, the rest forwarded {} more packets",
         h.received() - before
+    );
+
+    // 6. The observability layer (§4.3): trace a supervised recovery run
+    //    and export it for chrome://tracing / ui.perfetto.dev.
+    observability_trace()?;
+    Ok(())
+}
+
+/// Forwards traffic and, every 64th packet, DMAs the frame header to host
+/// DRAM — a telemetry sampler exercising the A.8 "save state to the host"
+/// path so the trace contains real DMA transfers.
+struct TelemetryForwarder {
+    seen: u64,
+}
+
+impl Firmware for TelemetryForwarder {
+    fn tick(&mut self, io: &mut RpuIo<'_>) {
+        if let Some(desc) = io.rx_pop() {
+            io.charge(12);
+            self.seen += 1;
+            if self.seen.is_multiple_of(64) && !io.host_dma_busy() {
+                io.host_dma_write(0x1000, io.slot_addr(desc.tag), 64);
+            }
+            io.send(Desc { port: desc.port ^ 1, ..desc });
+        }
+    }
+}
+
+fn observability_trace() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n=== cycle-stamped trace of a supervised recovery (§3.4 + §4.3) ===");
+    let watchdog = assemble(&watchdog_forwarder_asm(64))?;
+    let mut sys = Rosebud::builder(RosebudConfig::with_rpus(8))
+        .load_balancer(Box::new(RoundRobinLb::new()))
+        .firmware(move |r| {
+            if r == 7 {
+                RpuProgram::Native(Box::new(TelemetryForwarder { seen: 0 }))
+            } else {
+                RpuProgram::Riscv(watchdog.clone())
+            }
+        })
+        .build()?;
+    sys.install_fault_plan(
+        FaultPlan::new(7).at(20_000, FaultKind::FirmwareHang { rpu: 3 }),
+    );
+    sys.enable_tracing(TraceConfig {
+        counter_interval: 4096,
+        pc_profile: true,
+        max_events: 1 << 21,
+    });
+
+    let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 60.0);
+    let mut sup = Supervisor::with_config(
+        &h.sys,
+        SupervisorConfig {
+            drain_timeout: 4_000,
+            ..SupervisorConfig::default()
+        },
+    );
+    for _ in 0..70_000 {
+        h.tick();
+        sup.poll(&mut h.sys);
+    }
+
+    // Per-PC cycle attribution: where RPU 0's firmware actually spends time.
+    if let Some(profile) = h.sys.rpus()[0].pc_profile() {
+        let imem = h.sys.read_rpu_mem(0, MemRegion::Imem, 0, 256);
+        let words: Vec<u32> = imem
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let listing = disassemble_image(0, &words);
+        let mut hot: Vec<(&u32, &u64)> = profile.iter().collect();
+        hot.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        println!("hottest firmware PCs on RPU 0:");
+        for (pc, cycles) in hot.into_iter().take(5) {
+            let text = listing
+                .iter()
+                .find(|(addr, _, _)| *addr == *pc)
+                .map(|(_, _, t)| t.as_str())
+                .unwrap_or("<outside imem dump>");
+            println!("  {pc:#06x}: {cycles:>8} cycles  {text}");
+        }
+    }
+
+    let tracer = h.sys.take_tracer().expect("tracing was enabled");
+    let (mut lb, mut dma, mut sup_ev, mut ctr) = (0u64, 0u64, 0u64, 0u64);
+    for (_, ev) in tracer.events() {
+        match ev {
+            TraceEvent::LbAssign { .. } => lb += 1,
+            TraceEvent::DmaStart { .. } | TraceEvent::DmaComplete { .. } => dma += 1,
+            TraceEvent::Supervisor { .. } => sup_ev += 1,
+            TraceEvent::CounterSample { .. } => ctr += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "traced {} events ({} LB assignments, {} DMA, {} supervisor steps, \
+         {} counter samples, {} dropped)",
+        tracer.events().len(),
+        lb,
+        dma,
+        sup_ev,
+        ctr,
+        tracer.dropped_events(),
+    );
+    assert!(lb > 0 && dma > 0 && sup_ev > 0 && ctr > 0, "trace must cover all event classes");
+
+    let json = tracer.perfetto_json(h.sys.config().ns_per_cycle());
+    std::fs::write("trace.json", &json)?;
+    println!(
+        "wrote trace.json ({} KiB) — load it in chrome://tracing or ui.perfetto.dev",
+        json.len() / 1024
     );
     Ok(())
 }
