@@ -70,7 +70,12 @@ impl RegRead {
 /// accelerators"); the accelerator additionally gets one exclusive port to
 /// the RPU's shared packet memory, modelled by the `pmem` slice passed to
 /// [`tick`](Accelerator::tick).
-pub trait Accelerator {
+///
+/// Accelerators are `Send`: the simulation kernel may migrate a whole RPU
+/// (core, memories, and its accelerator) to a worker thread between cycle
+/// barriers. They are never shared — exactly one thread touches an RPU at a
+/// time — so `Sync` is not required.
+pub trait Accelerator: Send {
     /// A short name for debug output and resource tables.
     fn name(&self) -> &str;
 

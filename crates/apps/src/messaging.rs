@@ -120,7 +120,8 @@ mod tests {
         sys.run(5_000);
         // Every RPU's mirror should hold a timestamp from every sender.
         for r in 0..4 {
-            let mirror = sys.rpus()[r].inner().bcast_mirror();
+            let rpus = sys.rpus();
+            let mirror = rpus[r].inner().bcast_mirror();
             for sender in 0..4 {
                 let word = u32::from_le_bytes(
                     mirror[sender * 4..sender * 4 + 4].try_into().unwrap(),

@@ -7,6 +7,7 @@
 //! Output path: `$ROSEBUD_BENCH_OUT`, else `<workspace root>/BENCH_rosebud.json`.
 
 use rosebud_apps::forwarder::{build_forwarding_system, build_watchdog_forwarding_system};
+use rosebud_bench::sim_speed::{compare, Scenario};
 use rosebud_bench::{bench_output_path, json_f64, measure};
 use rosebud_core::{FaultKind, FaultPlan, Harness, Supervisor, SupervisorConfig};
 use rosebud_kernel::RateWindow;
@@ -99,10 +100,38 @@ fn recovery_point() -> Recovery {
     }
 }
 
+/// One kernel sim-speed point at 16 RPUs, decode cache on.
+struct SimSpeed {
+    scenario: &'static str,
+    sequential_ns_per_cycle: f64,
+    parallel_ns_per_cycle: f64,
+    speedup: f64,
+}
+
+fn sim_speed_points() -> Vec<SimSpeed> {
+    [
+        Scenario::BusyPollLoaded,
+        Scenario::DutyCycleLight,
+        Scenario::ParkedIdle,
+    ]
+    .into_iter()
+    .map(|scenario| {
+        let (seq, par) = compare(scenario, 16);
+        SimSpeed {
+            scenario: scenario.name(),
+            sequential_ns_per_cycle: seq,
+            parallel_ns_per_cycle: par,
+            speedup: seq / par,
+        }
+    })
+    .collect()
+}
+
 fn main() {
     let throughput: Vec<Throughput> = [64, 1500].into_iter().map(throughput_point).collect();
     let latency = latency_point();
     let recovery = recovery_point();
+    let sim_speed = sim_speed_points();
 
     let mut json = String::from("{\n  \"benchmark\": \"rosebud\",\n  \"throughput\": [\n");
     for (i, t) in throughput.iter().enumerate() {
@@ -123,9 +152,22 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"recovery\": {{\"detection_latency_cycles\": {}, \"downtime_cycles\": {}, \
-         \"packets_purged\": {}}}\n}}\n",
+         \"packets_purged\": {}}},\n",
         recovery.detection_latency_cycles, recovery.downtime_cycles, recovery.packets_purged,
     ));
+    json.push_str("  \"sim_speed\": [\n");
+    for (i, p) in sim_speed.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"rpus\": 16, \"sequential_ns_per_cycle\": {}, \
+             \"parallel_ns_per_cycle\": {}, \"speedup\": {}}}{}\n",
+            p.scenario,
+            json_f64(p.sequential_ns_per_cycle),
+            json_f64(p.parallel_ns_per_cycle),
+            json_f64(p.speedup),
+            if i + 1 < sim_speed.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
 
     let path = bench_output_path("BENCH_rosebud.json");
     std::fs::write(&path, &json).expect("write benchmark summary");

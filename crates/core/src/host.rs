@@ -54,7 +54,7 @@ impl Rosebud {
             lb_regs::ENABLE_LO => self.enabled as u32,
             lb_regs::ENABLE_HI => (self.enabled >> 32) as u32,
             a if a >= lb_regs::SLOTS_BASE
-                && ((a - lb_regs::SLOTS_BASE) as usize) < self.rpus.len() =>
+                && ((a - lb_regs::SLOTS_BASE) as usize) < self.lanes.len() =>
             {
                 self.tracker.free_count((a - lb_regs::SLOTS_BASE) as usize) as u32
             }
@@ -73,7 +73,7 @@ impl Rosebud {
             }
             lb_regs::FLUSH_RPU => {
                 let r = value as usize;
-                if r < self.rpus.len() {
+                if r < self.lanes.len() {
                     self.tracker.flush(r);
                 }
             }
@@ -89,7 +89,7 @@ impl Rosebud {
     /// Reads `len` bytes from an RPU memory region — the host debug path
     /// that can "dump the entire RPU shared memory" (§3.4).
     pub fn read_rpu_mem(&self, rpu: usize, region: MemRegion, offset: usize, len: usize) -> Vec<u8> {
-        let inner = self.rpus[rpu].inner();
+        let inner = self.lanes[rpu].rpu.inner();
         let mem: &[u8] = match region {
             MemRegion::Imem => return self.read_imem(rpu, offset, len),
             MemRegion::Dmem => inner.dmem(),
@@ -103,7 +103,7 @@ impl Rosebud {
         // imem is private to the inner; expose through the boot image plus
         // live reads would require a second port — the host reads back what
         // it loaded (A.6 loads "directly from the ELF output file").
-        match &self.rpus[rpu].boot_image {
+        match &self.lanes[rpu].rpu.boot_image {
             Some(image) => {
                 let bytes = image.bytes();
                 bytes[offset.min(bytes.len())..(offset + len).min(bytes.len())].to_vec()
@@ -115,7 +115,8 @@ impl Rosebud {
     /// Writes bytes into an RPU memory region before boot (loading lookup
     /// tables, Appendix A.6) or during debugging.
     pub fn write_rpu_mem(&mut self, rpu: usize, region: MemRegion, offset: usize, bytes: &[u8]) {
-        let inner = self.rpus[rpu].inner_mut();
+        self.wake_lane(rpu);
+        let inner = self.lanes[rpu].rpu.inner_mut();
         match region {
             MemRegion::Imem => {
                 // Firmware loads go through `load_riscv`; raw imem pokes are
@@ -135,7 +136,7 @@ impl Rosebud {
                 }
             }
             MemRegion::AccelMem => {
-                if let Some(accel) = self.rpus[rpu].accelerator_mut() {
+                if let Some(accel) = self.lanes[rpu].rpu.accelerator_mut() {
                     accel.load_table(offset as u32, bytes);
                 }
             }
@@ -145,28 +146,31 @@ impl Rosebud {
     /// Sends a poke interrupt "to tell it to stop processing packets" so the
     /// host can inspect state (§3.4).
     pub fn poke(&mut self, rpu: usize) {
-        self.rpus[rpu].raise_irq(irq::POKE);
+        self.lanes[rpu].rpu.raise_irq(irq::POKE);
+        self.wake_lane(rpu);
     }
 
     /// Sends the eviction interrupt ahead of a reconfiguration (A.8).
     pub fn evict(&mut self, rpu: usize) {
-        self.rpus[rpu].raise_irq(irq::EVICT);
+        self.lanes[rpu].rpu.raise_irq(irq::EVICT);
+        self.wake_lane(rpu);
     }
 
     /// Reads RPU `rpu`'s host-visible status register.
     pub fn rpu_status(&self, rpu: usize) -> u32 {
-        self.rpus[rpu].inner().status()
+        self.lanes[rpu].rpu.inner().status()
     }
 
     /// Takes the most recent 64-bit debug-channel value from `rpu`, if the
     /// firmware wrote one since the last read (A.7).
     pub fn take_debug(&mut self, rpu: usize) -> Option<u64> {
-        self.rpus[rpu].inner_mut().take_debug_out()
+        self.lanes[rpu].rpu.inner_mut().take_debug_out()
     }
 
     /// Writes the host→RPU half of the 64-bit debug channel.
     pub fn write_debug(&mut self, rpu: usize, value: u64) {
-        self.rpus[rpu].inner_mut().set_debug_in(value);
+        self.lanes[rpu].rpu.inner_mut().set_debug_in(value);
+        self.wake_lane(rpu);
     }
 
     /// Begins a runtime reconfiguration of `rpu` (§4.1, A.8): the LB stops
@@ -179,9 +183,10 @@ impl Rosebud {
         program: Option<RpuProgram>,
         accel: Option<Box<dyn rosebud_accel::Accelerator>>,
     ) {
-        assert!(rpu < self.rpus.len(), "no such RPU");
+        assert!(rpu < self.lanes.len(), "no such RPU");
         self.enabled &= !(1 << rpu);
-        self.rpus[rpu].start_drain();
+        self.lanes[rpu].rpu.start_drain();
+        self.wake_lane(rpu);
         self.pr_jobs.push(PrJob {
             rpu,
             phase: PrPhase::Draining,
@@ -198,9 +203,10 @@ impl Rosebud {
     /// rung — it must never hand traffic to a region it has not confirmed
     /// alive.
     pub fn reconfigure_rpu_gated(&mut self, rpu: usize) {
-        assert!(rpu < self.rpus.len(), "no such RPU");
+        assert!(rpu < self.lanes.len(), "no such RPU");
         self.enabled &= !(1 << rpu);
-        self.rpus[rpu].start_drain();
+        self.lanes[rpu].rpu.start_drain();
+        self.wake_lane(rpu);
         self.pr_jobs.push(PrJob {
             rpu,
             phase: PrPhase::Draining,
@@ -218,7 +224,7 @@ impl Rosebud {
     /// slot-bound packets destroyed. The enable bit stays clear until the
     /// caller re-enables.
     pub fn force_reconfigure_rpu(&mut self, rpu: usize) -> u64 {
-        assert!(rpu < self.rpus.len(), "no such RPU");
+        assert!(rpu < self.lanes.len(), "no such RPU");
         self.enabled &= !(1 << rpu);
         // Supersede any graceful job that was waiting on a drain that will
         // never finish.
@@ -226,12 +232,13 @@ impl Rosebud {
         let purged = (self.cfg.slots_per_rpu - self.tracker.free_count(rpu)) as u64;
         self.ledger.purged += purged;
         self.ingress_delay.retain(|item| item.rpu != rpu);
-        self.rpu_in[rpu].flush();
-        self.rpu_out[rpu].flush();
-        self.rpus[rpu].purge();
+        self.lanes[rpu].rin.flush();
+        self.lanes[rpu].rout.flush();
+        self.lanes[rpu].rpu.purge();
         self.tracker.flush(rpu);
         let until = self.clock.cycle() + self.cfg.pr_cycles;
-        self.rpus[rpu].begin_reconfigure(until);
+        self.lanes[rpu].rpu.begin_reconfigure(until);
+        self.wake_lane(rpu);
         self.pr_jobs.push(PrJob {
             rpu,
             phase: PrPhase::Writing { until },
@@ -261,7 +268,8 @@ impl Rosebud {
     /// Loads a new assembled firmware into a *stopped* RPU and boots it —
     /// the plain (non-PR) load path of A.6.
     pub fn load_rpu_firmware(&mut self, rpu: usize, image: &Image) {
-        self.rpus[rpu].load_riscv(image);
+        self.lanes[rpu].rpu.load_riscv(image);
+        self.wake_lane(rpu);
     }
 }
 

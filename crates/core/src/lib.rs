@@ -52,7 +52,9 @@ mod fabric;
 mod fault;
 mod harness;
 mod host;
+mod lane;
 mod lb;
+mod par;
 pub mod resources;
 mod rpu;
 mod supervisor;
@@ -69,8 +71,9 @@ pub use harness::{Harness, Measurement};
 pub use host::{lb_regs, pr_reload_model, MemRegion, PrTimingModel};
 pub use lb::{HashLb, LeastLoadedLb, LoadBalancer, RoundRobinLb, SlotTracker};
 pub use rpu::{Firmware, PerfCounters, Rpu, RpuInner, RpuIo, RpuState};
+pub use rosebud_kernel::KernelMode;
 pub use supervisor::{RecoveryEvent, Supervisor, SupervisorConfig};
-pub use system::{AccelFactory, FirmwareFactory, Rosebud, RosebudBuilder, RpuProgram};
+pub use system::{AccelFactory, FirmwareFactory, Rosebud, RosebudBuilder, RpuProgram, Rpus};
 pub use testbench::{PacketReport, RpuTestbench, TxRecord};
 pub use trace::{SupervisorStep, TraceConfig, TraceEvent, Tracer};
 pub use types::{irq, memmap, port, BcastMsg, Desc, HostDmaReq, SlotMeta, SELF_TAG};

@@ -1,0 +1,135 @@
+//! The parallel kernel's worker pool: persistent threads that run the fused
+//! lane phase for contiguous batches of lanes, one cycle at a time.
+//!
+//! Ownership of each [`Lane`] (`Box`ed, so moves are pointer-sized) is
+//! transferred to a worker over a channel at the start of the cycle's lane
+//! phase and transferred back before the barrier. Exactly one thread ever
+//! touches a lane at a time, so no locking or `unsafe` is needed — the
+//! type system enforces the race-freedom the determinism argument needs.
+//!
+//! Scheduling (which worker advances which lanes) is invisible in results:
+//! lanes record shared effects in their [`LaneFx`](crate::lane::LaneFx) and
+//! the coordinator replays them in lane order at the barrier. The partition
+//! is rebalanced at most once per scheduling quantum, from per-lane firmware
+//! cycle counts — simulation state, so the schedule itself is reproducible.
+
+// Lanes cross thread boundaries boxed on purpose: a `Box<Lane>` move is
+// pointer-sized, where a bare `Lane` move would memcpy the whole lane
+// (packet memory included) into and out of every channel message.
+#![allow(clippy::vec_box)]
+
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use rosebud_kernel::{partition, Cycle};
+
+use crate::lane::{lane_phase, Lane};
+
+/// A batch of lanes for one cycle: first lane index, the lanes, the cycle.
+type Job = (usize, Vec<Box<Lane>>, Cycle);
+
+pub(crate) struct WorkerPool {
+    to_workers: Vec<Sender<Job>>,
+    from_workers: Receiver<(usize, Vec<Box<Lane>>)>,
+    /// Keeps worker threads joinable; they exit when their sender drops.
+    _handles: Vec<JoinHandle<()>>,
+    /// Current contiguous lane ranges, one per busy worker.
+    parts: Vec<Range<usize>>,
+    /// Per-lane firmware cycle counters at the last rebalance.
+    last_sw: Vec<u64>,
+    /// Scheduling quantum in cycles.
+    quantum: u32,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize, num_lanes: usize, quantum: u32) -> Self {
+        let workers = workers.max(1).min(num_lanes.max(1));
+        let (done_tx, from_workers) = channel::<(usize, Vec<Box<Lane>>)>();
+        let mut to_workers = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let done = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rosebud-lane-{w}"))
+                    .spawn(move || {
+                        while let Ok((start, mut batch, now)) = rx.recv() {
+                            for lane in &mut batch {
+                                lane_phase(lane, now);
+                            }
+                            if done.send((start, batch)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn lane worker"),
+            );
+            to_workers.push(tx);
+        }
+        Self {
+            to_workers,
+            from_workers,
+            _handles: handles,
+            parts: partition(&vec![1; num_lanes], workers),
+            last_sw: vec![0; num_lanes],
+            quantum: quantum.max(1),
+        }
+    }
+
+    /// Re-partitions lanes across workers from the firmware cycles each lane
+    /// retired during the last quantum. Runs at most once per quantum;
+    /// affects scheduling only, never results.
+    pub(crate) fn maybe_rebalance(&mut self, lanes: &[Box<Lane>], now: Cycle) {
+        if now == 0 || !now.is_multiple_of(u64::from(self.quantum)) {
+            return;
+        }
+        let weights: Vec<u64> = lanes
+            .iter()
+            .enumerate()
+            .map(|(r, l)| l.rpu.sw_cycles().saturating_sub(self.last_sw[r]))
+            .collect();
+        self.parts = partition(&weights, self.to_workers.len());
+        for (r, l) in lanes.iter().enumerate() {
+            self.last_sw[r] = l.rpu.sw_cycles();
+        }
+    }
+
+    /// Runs the lane phase for cycle `now` across the pool and waits for
+    /// every lane to return (the cycle barrier).
+    pub(crate) fn run_cycle(&mut self, lanes: &mut Vec<Box<Lane>>, now: Cycle) {
+        let n = lanes.len();
+        let mut rest = std::mem::take(lanes);
+        // Carve contiguous batches back to front so indices stay valid.
+        let mut batches: Vec<(usize, Vec<Box<Lane>>)> = Vec::with_capacity(self.parts.len());
+        for part in self.parts.iter().rev() {
+            batches.push((part.start, rest.split_off(part.start)));
+        }
+        debug_assert!(rest.is_empty());
+        batches.reverse();
+        let k = batches.len();
+        for ((start, batch), tx) in batches.into_iter().zip(&self.to_workers) {
+            tx.send((start, batch, now)).expect("lane worker alive");
+        }
+        let mut done: Vec<(usize, Vec<Box<Lane>>)> = (0..k)
+            .map(|_| self.from_workers.recv().expect("lane worker alive"))
+            .collect();
+        done.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(n);
+        for (_, mut batch) in done {
+            out.append(&mut batch);
+        }
+        debug_assert_eq!(out.len(), n);
+        *lanes = out;
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.to_workers.len())
+            .field("parts", &self.parts)
+            .finish()
+    }
+}

@@ -19,7 +19,10 @@
 
 use rosebud_accel::Accelerator;
 use rosebud_kernel::{Counters, Fifo};
-use rosebud_riscv::{AccessSize, Bus, BusFault, BusValue, Cpu, Image, StepResult};
+use rosebud_riscv::{
+    decode, AccessSize, Bus, BusFault, BusValue, Cpu, DecodeCache, DecodeCacheStats, Fetched,
+    Image, StepResult,
+};
 
 use crate::config::RosebudConfig;
 use crate::types::memmap::{self, io};
@@ -128,6 +131,9 @@ pub struct PerfCounters {
 pub struct RpuInner {
     id: usize,
     imem: Vec<u8>,
+    /// Predecoded mirror of `imem` (host-side fetch shortcut; no
+    /// architectural effect). `None` when `cfg.decode_cache` is off.
+    icache: Option<DecodeCache>,
     dmem: Vec<u8>,
     pmem: Vec<u8>,
     bcast_mirror: Vec<u8>,
@@ -149,6 +155,10 @@ pub struct RpuInner {
     now: u64,
     /// One-shot watchdog deadline; 0 = disarmed (§3.4 hang detection).
     timer_deadline: u64,
+    /// Set by a `TIMER_CMP` write: re-arming (or disarming) the watchdog
+    /// acknowledges any pending timer interrupt, `mtimecmp`-style. Consumed
+    /// by [`Rpu::tick`], which clears the core's pending line.
+    timer_ack: bool,
     /// Staged host-DMA registers and the committed request.
     dma_host_addr: u32,
     dma_local_addr: u32,
@@ -179,6 +189,9 @@ impl RpuInner {
         Self {
             id,
             imem: vec![0; cfg.imem_bytes as usize],
+            icache: cfg
+                .decode_cache
+                .then(|| DecodeCache::new(cfg.imem_bytes as usize)),
             dmem: vec![0; cfg.dmem_bytes as usize],
             pmem: vec![0; cfg.pmem_bytes as usize],
             bcast_mirror: vec![0; memmap::BCAST_BYTES as usize],
@@ -198,6 +211,7 @@ impl RpuInner {
             native_irqs: 0,
             now: 0,
             timer_deadline: 0,
+            timer_ack: false,
             dma_host_addr: 0,
             dma_local_addr: 0,
             dma_len: 0,
@@ -270,6 +284,8 @@ impl RpuInner {
                 } else {
                     self.now + u64::from(value)
                 };
+                // Re-arming acknowledges a pending timer interrupt.
+                self.timer_ack = true;
             }
             io::DMA_HOST_ADDR => self.dma_host_addr = value,
             io::DMA_LOCAL_ADDR => self.dma_local_addr = value,
@@ -336,6 +352,11 @@ impl RpuInner {
 
     pub(crate) fn take_dma_req(&mut self) -> Option<crate::types::HostDmaReq> {
         self.dma_pending.take()
+    }
+
+    /// `true` while a committed host-DMA request awaits the PCIe stage.
+    pub(crate) fn has_dma_req(&self) -> bool {
+        self.dma_pending.is_some()
     }
 
     pub(crate) fn dma_complete(&mut self) {
@@ -474,6 +495,11 @@ impl RpuInner {
         &self.bcast_mirror
     }
 
+    /// Decoded-instruction-cache counters, when the cache is enabled.
+    pub fn decode_cache_stats(&self) -> Option<DecodeCacheStats> {
+        self.icache.as_ref().map(DecodeCache::stats)
+    }
+
     fn load(&mut self, addr: u32, size: AccessSize) -> Result<BusValue, BusFault> {
         let n = size.bytes() as usize;
         let read_from = |mem: &[u8], off: u32| -> Result<u32, BusFault> {
@@ -564,6 +590,9 @@ impl RpuInner {
                     });
                 }
                 self.imem[off..off + n].copy_from_slice(&bytes[..n]);
+                if let Some(ic) = &mut self.icache {
+                    ic.invalidate_bytes(a, n);
+                }
                 Ok(0)
             }
         }
@@ -579,6 +608,37 @@ impl Bus for InnerBus<'_> {
 
     fn store(&mut self, addr: u32, value: u32, size: AccessSize) -> Result<u32, BusFault> {
         self.0.store(addr, value, size)
+    }
+
+    fn fetch(&mut self, pc: u32) -> Result<Fetched, BusFault> {
+        // Fast path: a word-aligned fetch from instruction memory skips the
+        // full address decode and, on a cache hit, the instruction decode.
+        // Everything else (misaligned PCs, runaway PCs in other regions)
+        // takes the exact uncached path, including its fault values.
+        if let Some(ic) = &mut self.0.icache {
+            if ic.covers(pc) {
+                let at = pc as usize;
+                if at + 4 <= self.0.imem.len() {
+                    if let Some(instr) = ic.get(pc) {
+                        return Ok(Fetched::Decoded(instr));
+                    }
+                    let word =
+                        u32::from_le_bytes(self.0.imem[at..at + 4].try_into().expect("4 bytes"));
+                    return match decode(word) {
+                        Ok(instr) => {
+                            ic.fill(pc, instr);
+                            Ok(Fetched::Decoded(instr))
+                        }
+                        // Never cache illegal words: the core must fault
+                        // with the raw word, exactly like the slow path.
+                        Err(_) => Ok(Fetched::Word(word)),
+                    };
+                }
+            }
+        }
+        self.0
+            .load(pc, AccessSize::Word)
+            .map(|v| Fetched::Word(v.value))
     }
 }
 
@@ -850,10 +910,16 @@ impl Rpu {
         let bytes = image.bytes();
         let base = image.base() as usize;
         self.inner.imem[base..base + bytes.len()].copy_from_slice(&bytes);
+        if let Some(ic) = &mut self.inner.icache {
+            ic.clear();
+            ic.predecode(image.base(), image.words());
+        }
         self.boot_image = Some(image.clone());
         let mut cpu = Box::new(Cpu::new(image.base()));
         cpu.raise_irq(31); // reserved line kept clear; ensures mip plumbed
         cpu.clear_irq(31);
+        // A stale watchdog acknowledgement must not carry into a fresh boot.
+        self.inner.timer_ack = false;
         self.engine = Engine::Riscv(cpu);
         self.hung = false;
         self.crashed = false;
@@ -917,6 +983,12 @@ impl Rpu {
         self.hung = false;
         self.crashed = false;
         self.watchdog_fires = 0;
+        // The next firmware load re-predecodes; drop stale entries now so a
+        // host that pokes instruction memory mid-reconfigure cannot race a
+        // live cache.
+        if let Some(ic) = &mut self.inner.icache {
+            ic.clear();
+        }
         if let Some(accel) = &mut self.inner.accel {
             accel.reset();
         }
@@ -1027,6 +1099,50 @@ impl Rpu {
         }
     }
 
+    /// The first cycle at which a [`Rpu::tick`] could change any state,
+    /// assuming no external event (raised interrupt, ingress delivery, host
+    /// access, fault injection) arrives first — or `0` when the RPU must
+    /// tick every cycle. The parallel kernel uses this to elide ticks of
+    /// provably inert lanes; every external event re-wakes the lane, so a
+    /// conservative `0` is always safe while a too-large horizon is a
+    /// determinism bug the differential suite exists to catch.
+    ///
+    /// The armed watchdog caps every horizon: its expiry is the one
+    /// self-generated event an otherwise-inert RPU can produce.
+    pub(crate) fn quiet_horizon(&self) -> u64 {
+        // An accelerator streams every cycle regardless of the core.
+        if self.inner.accel.is_some() {
+            return 0;
+        }
+        let wd = if self.inner.timer_deadline != 0 {
+            self.inner.timer_deadline
+        } else {
+            u64::MAX
+        };
+        // Inert-by-state regions: `tick` early-returns before touching the
+        // core (the `now >= until` case also returns — the host completes
+        // the boot via `finish_reconfigure`, which wakes the lane).
+        if matches!(self.state, RpuState::Reconfiguring { .. }) || self.hung {
+            return wd;
+        }
+        // A stall tail mutates the cycle counters every tick, and a queued
+        // committed send keeps stage 6 busy.
+        if self.stall != 0 || !self.inner.tx_queue.is_empty() {
+            return 0;
+        }
+        match &self.engine {
+            Engine::Empty => wd,
+            Engine::Native(_) => 0, // native `tick` hooks are arbitrary
+            Engine::Riscv(cpu) => {
+                if cpu.is_parked() {
+                    wd
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
     /// Advances one clock cycle: core, then accelerator.
     pub(crate) fn tick(&mut self, now: u64) {
         self.inner.now = now;
@@ -1060,6 +1176,12 @@ impl Rpu {
         } else {
             match &mut self.engine {
                 Engine::Riscv(cpu) => {
+                    // A TIMER_CMP write since the last step (host-side
+                    // watchdog pet) acknowledges the pending timer line.
+                    if self.inner.timer_ack {
+                        self.inner.timer_ack = false;
+                        cpu.clear_irq(crate::types::irq::TIMER);
+                    }
                     let pc = cpu.pc();
                     let mut bus = InnerBus(&mut self.inner);
                     match cpu.step(&mut bus) {
@@ -1081,6 +1203,12 @@ impl Rpu {
                             self.state = RpuState::Stopped;
                         }
                     }
+                    // The step itself may have re-armed the watchdog; the
+                    // write acknowledges the pending line at write time.
+                    if self.inner.timer_ack {
+                        self.inner.timer_ack = false;
+                        cpu.clear_irq(crate::types::irq::TIMER);
+                    }
                 }
                 Engine::Native(fw) => {
                     let mut io = RpuIo {
@@ -1099,6 +1227,10 @@ impl Rpu {
                     }
                     fw.tick(&mut io);
                     self.sw_cycles += 1;
+                    // Native interrupts are delivered eagerly above; the ack
+                    // flag must still be consumed so it cannot leak into a
+                    // later RV32 reload.
+                    self.inner.timer_ack = false;
                 }
                 Engine::Empty => {}
             }

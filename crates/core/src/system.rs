@@ -2,14 +2,18 @@
 //! messaging, and the host bridge, advanced one 250 MHz cycle at a time.
 
 use rosebud_accel::Accelerator;
-use rosebud_kernel::{Clock, Counters, Cycle, DelayLine, Fifo, LatencyStats, Serializer};
+use rosebud_kernel::{
+    Clock, Counters, Cycle, DelayLine, Fifo, KernelMode, LatencyStats, Serializer,
+};
 use rosebud_net::Packet;
 use rosebud_riscv::Image;
 
 use crate::config::RosebudConfig;
 use crate::fabric::{BcastArbiter, EgressItem, IngressItem, Loopback, PortState};
 use crate::fault::{FaultKind, FaultPlan, FaultState, Ledger};
+use crate::lane::{lane_phase, Lane, LaneFx, RxFx, TxFx};
 use crate::lb::{LoadBalancer, SlotTracker};
+use crate::par::WorkerPool;
 use crate::rpu::{Firmware, Rpu};
 use crate::supervisor::RecoveryEvent;
 use crate::trace::{SupervisorStep, TraceConfig, TraceEvent, Tracer};
@@ -63,12 +67,21 @@ pub struct RosebudBuilder {
     lb: Option<Box<dyn LoadBalancer>>,
     firmware: Option<FirmwareFactory>,
     accel: Option<AccelFactory>,
+    kernel: Option<KernelMode>,
 }
 
 impl RosebudBuilder {
     /// Installs the load-balancing policy (defaults to round-robin).
     pub fn load_balancer(mut self, lb: Box<dyn LoadBalancer>) -> Self {
         self.lb = Some(lb);
+        self
+    }
+
+    /// Selects the simulation kernel explicitly. Defaults to
+    /// [`KernelMode::from_env`] (`ROSEBUD_KERNEL`), so test suites can be
+    /// matrixed over both kernels without code changes.
+    pub fn kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = Some(kernel);
         self
     }
 
@@ -101,16 +114,33 @@ impl RosebudBuilder {
         self.cfg.validate()?;
         let firmware = self.firmware.ok_or("no firmware installed")?;
         let cfg = self.cfg;
-        let mut rpus: Vec<Rpu> = (0..cfg.num_rpus).map(|i| Rpu::new(i, &cfg)).collect();
-        for (i, rpu) in rpus.iter_mut().enumerate() {
+        let mut lanes: Vec<Box<Lane>> = (0..cfg.num_rpus)
+            .map(|i| {
+                Box::new(Lane {
+                    quiet_until: 0,
+                    rpu: Rpu::new(i, &cfg),
+                    rin: Serializer::new(cfg.rpu_link_bytes_per_cycle, cfg.slots_per_rpu + 2),
+                    rout: Serializer::new(cfg.rpu_link_bytes_per_cycle, cfg.slots_per_rpu + 2),
+                    fx: LaneFx::default(),
+                })
+            })
+            .collect();
+        for (i, lane) in lanes.iter_mut().enumerate() {
             if let Some(accel) = &self.accel {
-                rpu.set_accelerator(accel(i));
+                lane.rpu.set_accelerator(accel(i));
             }
             match firmware(i) {
-                RpuProgram::Riscv(image) => rpu.load_riscv(&image),
-                RpuProgram::Native(fw) => rpu.load_native(fw),
+                RpuProgram::Riscv(image) => lane.rpu.load_riscv(&image),
+                RpuProgram::Native(fw) => lane.rpu.load_native(fw),
             }
         }
+        let kernel = self.kernel.unwrap_or_else(KernelMode::from_env);
+        let pool = match kernel {
+            KernelMode::Parallel { workers, quantum } if workers > 0 => {
+                Some(WorkerPool::new(workers, cfg.num_rpus, quantum))
+            }
+            _ => None,
+        };
         let tracker = SlotTracker::new(cfg.num_rpus, cfg.slots_per_rpu);
         let enabled = if cfg.num_rpus >= 64 {
             u64::MAX
@@ -118,15 +148,15 @@ impl RosebudBuilder {
             (1u64 << cfg.num_rpus) - 1
         };
         let ports = (0..cfg.num_ports).map(|_| PortState::new(&cfg)).collect();
-        let rpu_in = (0..cfg.num_rpus)
-            .map(|_| Serializer::new(cfg.rpu_link_bytes_per_cycle, cfg.slots_per_rpu + 2))
-            .collect();
-        let rpu_out = (0..cfg.num_rpus)
-            .map(|_| Serializer::new(cfg.rpu_link_bytes_per_cycle, cfg.slots_per_rpu + 2))
-            .collect();
+        let lane_quiet = vec![0; cfg.num_rpus];
         Ok(Rosebud {
             clock: Clock::new(cfg.clock_hz),
-            rpus,
+            lanes,
+            kernel,
+            pool,
+            lane_quiet,
+            rout_mask: u64::MAX,
+            dma_mask: u64::MAX,
             lb: self
                 .lb
                 .unwrap_or_else(|| Box::new(crate::lb::RoundRobinLb::new())),
@@ -134,8 +164,6 @@ impl RosebudBuilder {
             enabled,
             ports,
             ingress_delay: DelayLine::new(cfg.ingress_fixed_cycles),
-            rpu_in,
-            rpu_out,
             loopback: Loopback::new(&cfg),
             bcast: BcastArbiter::new(&cfg),
             bcast_latency: LatencyStats::new(),
@@ -179,14 +207,35 @@ pub(crate) enum PrPhase {
 pub struct Rosebud {
     pub(crate) cfg: RosebudConfig,
     pub(crate) clock: Clock,
-    pub(crate) rpus: Vec<Rpu>,
+    /// One lane per RPU: the RPU plus its private ingress/egress links,
+    /// boxed so the parallel kernel can move lanes to workers cheaply.
+    // Boxed so the worker pool can move lanes across threads pointer-sized.
+    #[allow(clippy::vec_box)]
+    pub(crate) lanes: Vec<Box<Lane>>,
+    /// Which kernel advances the system.
+    kernel: KernelMode,
+    /// Worker pool, when the parallel kernel has threads.
+    pool: Option<WorkerPool>,
+    /// Coordinator-side mirror of each lane's `quiet_until`, kept dense so
+    /// the parallel kernel's skip checks never dereference a sleeping
+    /// lane's box. Updated at the barrier and by [`Rosebud::wake_lane`];
+    /// unused by the sequential kernel.
+    lane_quiet: Vec<Cycle>,
+    /// Persistent egress-link occupancy bitmap (parallel kernel): bit `r`
+    /// set while lane `r`'s `rout` may hold data. Survives sleeping lanes —
+    /// a lane can park with frames still serializing out — and self-clears
+    /// in stage 7. Lanes ≥ 64 are never masked off.
+    rout_mask: u64,
+    /// Persistent host-DMA-request bitmap (parallel kernel): bit `r` set
+    /// while lane `r`'s RPU may hold a committed DMA request. A parked core
+    /// legitimately sleeps while its request waits out a PCIe outage, so
+    /// this must survive elided cycles too.
+    dma_mask: u64,
     pub(crate) lb: Box<dyn LoadBalancer>,
     pub(crate) tracker: SlotTracker,
     pub(crate) enabled: u64,
     pub(crate) ports: Vec<PortState>,
     pub(crate) ingress_delay: DelayLine<IngressItem>,
-    pub(crate) rpu_in: Vec<Serializer<IngressItem>>,
-    pub(crate) rpu_out: Vec<Serializer<EgressItem>>,
     pub(crate) loopback: Loopback,
     pub(crate) bcast: BcastArbiter,
     pub(crate) bcast_latency: LatencyStats,
@@ -232,10 +281,52 @@ fn rpu_state_name(rpu: &Rpu) -> &'static str {
 impl std::fmt::Debug for Rosebud {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Rosebud")
-            .field("rpus", &self.rpus.len())
+            .field("rpus", &self.lanes.len())
             .field("cycle", &self.clock.cycle())
             .field("lb", &self.lb.name())
+            .field("kernel", &self.kernel)
             .finish()
+    }
+}
+
+/// Read-only view of every RPU, indexable like the slice the sequential-era
+/// API returned.
+///
+/// # Examples
+///
+/// ```
+/// # use rosebud_core::{Rosebud, RosebudConfig, RpuProgram};
+/// # use rosebud_riscv::assemble;
+/// # let image = assemble("spin: j spin").unwrap();
+/// # let sys = Rosebud::builder(RosebudConfig::with_rpus(4))
+/// #     .firmware(move |_| RpuProgram::Riscv(image.clone()))
+/// #     .build()
+/// #     .unwrap();
+/// assert_eq!(sys.rpus().len(), 4);
+/// assert_eq!(sys.rpus()[2].id(), 2);
+/// assert_eq!(sys.rpus().iter().count(), 4);
+/// ```
+#[derive(Clone, Copy)]
+pub struct Rpus<'a>(&'a [Box<Lane>]);
+
+impl<'a> Rpus<'a> {
+    /// Number of RPUs.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterates the RPUs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Rpu> + use<'a> {
+        self.0.iter().map(|lane| &lane.rpu)
+    }
+}
+
+impl std::ops::Index<usize> for Rpus<'_> {
+    type Output = Rpu;
+
+    fn index(&self, r: usize) -> &Rpu {
+        &self.0[r].rpu
     }
 }
 
@@ -247,7 +338,27 @@ impl Rosebud {
             lb: None,
             firmware: None,
             accel: None,
+            kernel: None,
         }
+    }
+
+    /// The kernel advancing this system.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Replaces the simulation kernel. Safe at any cycle boundary: lane
+    /// sleep state is conservative (the sequential kernel ignores it, and a
+    /// freshly built system has every lane awake), so differential
+    /// harnesses can build one scenario and re-run it under each kernel.
+    pub fn set_kernel(&mut self, kernel: KernelMode) {
+        self.kernel = kernel;
+        self.pool = match kernel {
+            KernelMode::Parallel { workers, quantum } if workers > 0 => {
+                Some(WorkerPool::new(workers, self.lanes.len(), quantum))
+            }
+            _ => None,
+        };
     }
 
     /// The configuration.
@@ -266,13 +377,27 @@ impl Rosebud {
     }
 
     /// The RPUs (host-side inspection).
-    pub fn rpus(&self) -> &[Rpu] {
-        &self.rpus
+    pub fn rpus(&self) -> Rpus<'_> {
+        Rpus(&self.lanes)
     }
 
     /// Mutable access to one RPU (host-side debugging, table loads).
     pub fn rpu_mut(&mut self, rpu: usize) -> &mut Rpu {
-        &mut self.rpus[rpu]
+        self.wake_lane(rpu);
+        &mut self.lanes[rpu].rpu
+    }
+
+    /// Re-arms lane `r` for the parallel kernel's quiescent-lane elision:
+    /// every event that could change an elided lane's behavior — an ingress
+    /// push, a raised interrupt, a host access, fault injection, a PR step —
+    /// must route through here. Spurious wakes are harmless (an inert
+    /// lane's phase is a no-op and it re-sleeps at the next barrier); a
+    /// *missed* wake is a determinism bug the differential suite exists to
+    /// catch. No-op under the sequential kernel, which never sleeps lanes.
+    #[inline]
+    pub(crate) fn wake_lane(&mut self, r: usize) {
+        self.lanes[r].quiet_until = 0;
+        self.lane_quiet[r] = 0;
     }
 
     /// Offers a packet to physical port `pkt.port`'s receive MAC. Returns
@@ -347,7 +472,7 @@ impl Rosebud {
 
     /// Counters of RPU `r` (§4.3).
     pub fn rpu_counters(&self, r: usize) -> Counters {
-        self.rpus[r].inner().counters()
+        self.lanes[r].rpu.inner().counters()
     }
 
     /// Broadcast-message delivery latency samples, in nanoseconds (§6.3).
@@ -378,9 +503,56 @@ impl Rosebud {
     }
 
     /// Advances the whole system by one clock cycle.
+    ///
+    /// Both kernels advance the same architectural stages in the same
+    /// order. The sequential kernel is the stage-sliced reference: every
+    /// stage sweeps all RPUs before the next begins, shared effects applied
+    /// inline. The parallel kernel fuses the per-RPU stages 4–6 into one
+    /// lane pass (possibly fanned out across worker threads), defers the
+    /// shared-resource effects into each lane's [`LaneFx`], and replays
+    /// them at the cycle barrier in the sequential kernel's exact order —
+    /// see [`crate::lane`] for the equivalence argument.
     pub fn tick(&mut self) {
         let now = self.clock.cycle();
+        self.tick_pre(now);
+        let (rout_mask, dma_mask) = match self.kernel {
+            KernelMode::Sequential => {
+                self.sequential_lane_stages(now);
+                (u64::MAX, u64::MAX)
+            }
+            KernelMode::Parallel { .. } => {
+                let mut any_ran = true;
+                if let Some(mut pool) = self.pool.take() {
+                    pool.maybe_rebalance(&self.lanes, now);
+                    pool.run_cycle(&mut self.lanes, now);
+                    self.pool = Some(pool);
+                } else {
+                    // Quiescent-lane elision: the dense mirror lets the
+                    // fused loop skip sleeping lanes without touching them.
+                    any_ran = false;
+                    for r in 0..self.lanes.len() {
+                        if now < self.lane_quiet[r] {
+                            continue;
+                        }
+                        lane_phase(&mut self.lanes[r], now);
+                        any_ran = true;
+                    }
+                }
+                if any_ran {
+                    self.apply_lane_fx(now)
+                } else {
+                    // Every lane slept: no fresh effects to replay and no
+                    // mask bit can have changed.
+                    (self.rout_mask, self.dma_mask)
+                }
+            }
+        };
+        self.tick_post(now, rout_mask, dma_mask);
+    }
 
+    /// Stages 0–3: faults, wire-side receive, the load balancer, and the
+    /// ingress pipeline. Runs before the per-lane phase under both kernels.
+    fn tick_pre(&mut self, now: Cycle) {
         // 0. Scheduled fault injection (chaos harness).
         self.apply_due_faults(now);
 
@@ -413,19 +585,27 @@ impl Rosebud {
 
         // 3. Fixed ingress pipeline → per-RPU 32 Gbps links.
         while let Some(item) = self.ingress_delay.peek_ready(now) {
-            if self.rpu_in[item.rpu].is_full() {
+            if self.lanes[item.rpu].rin.is_full() {
                 break;
             }
             let item = self.ingress_delay.pop_ready(now).expect("peeked ready");
             let len = item.bytes.len() as u64;
             let rpu = item.rpu;
-            self.rpu_in[rpu]
+            self.lanes[rpu]
+                .rin
                 .push(item, len, now).expect("fullness checked above");
+            self.wake_lane(rpu);
         }
+    }
 
+    /// Stages 4–6 as the sequential reference kernel runs them: each stage
+    /// sweeps all RPUs before the next begins, shared effects applied
+    /// inline. This is deliberately an independent implementation from
+    /// [`lane_phase`] — the differential suite proves them equivalent.
+    fn sequential_lane_stages(&mut self, now: Cycle) {
         // 4. Per-RPU link → DMA into packet memory + descriptor delivery.
-        for r in 0..self.rpus.len() {
-            if let Some(item) = self.rpu_in[r].pop_ready(now) {
+        for r in 0..self.lanes.len() {
+            if let Some(item) = self.lanes[r].rin.pop_ready(now) {
                 if item.corrupted {
                     // Link FCS failure: quarantine before the DMA engine
                     // touches packet memory; the slot returns to the LB.
@@ -434,7 +614,8 @@ impl Rosebud {
                     continue;
                 }
                 let delivered =
-                    self.rpus[r]
+                    self.lanes[r]
+                        .rpu
                         .inner_mut()
                         .dma_deliver(item.slot, &item.bytes, item.meta);
                 if !delivered {
@@ -456,16 +637,16 @@ impl Rosebud {
         }
 
         // 5. RPUs: core + accelerator.
-        for rpu in &mut self.rpus {
-            rpu.tick(now);
+        for lane in &mut self.lanes {
+            lane.rpu.tick(now);
         }
 
         // 6. Committed sends → per-RPU egress links.
-        for r in 0..self.rpus.len() {
-            if self.rpu_out[r].is_full() {
+        for r in 0..self.lanes.len() {
+            if self.lanes[r].rout.is_full() {
                 continue;
             }
-            if let Some((desc, bytes, meta)) = self.rpus[r].inner_mut().take_tx() {
+            if let Some((desc, bytes, meta)) = self.lanes[r].rpu.inner_mut().take_tx() {
                 if desc.len == 0 || bytes.is_empty() {
                     if desc.tag != SELF_TAG {
                         self.tracker.release(r, desc.tag);
@@ -497,7 +678,8 @@ impl Rosebud {
                     );
                 }
                 let len = bytes.len() as u64;
-                self.rpu_out[r]
+                self.lanes[r]
+                    .rout
                     .push(
                         EgressItem {
                             src_rpu: r,
@@ -510,22 +692,136 @@ impl Rosebud {
                     ).expect("fullness checked above");
             }
         }
+    }
 
+    /// The parallel kernel's barrier: replays every lane's deferred
+    /// shared-resource effects in stage-major, lane-ascending order — the
+    /// exact order [`Self::sequential_lane_stages`] produces them — and
+    /// returns `(rout_mask, dma_mask)` bitmaps of lanes whose egress link
+    /// holds data / whose RPU holds a host-DMA request, so
+    /// [`Self::tick_post`] skips idle lanes.
+    fn apply_lane_fx(&mut self, now: Cycle) -> (u64, u64) {
+        // Stage-4 effects, ascending lane order. Lanes elided this cycle
+        // (mirror still holding a future horizon) produced no fresh effects
+        // and keep their persistent mask bits — a sleeping lane can still
+        // have frames draining from its egress link or a DMA request
+        // waiting out a PCIe outage.
+        for r in 0..self.lanes.len() {
+            if now < self.lane_quiet[r] {
+                continue;
+            }
+            let (rout_busy, dma_req, rx) = {
+                let fx = &mut self.lanes[r].fx;
+                (fx.rout_busy, fx.dma_req, fx.rx.take())
+            };
+            if r < 64 {
+                let bit = 1u64 << r;
+                if rout_busy {
+                    self.rout_mask |= bit;
+                } else {
+                    self.rout_mask &= !bit;
+                }
+                if dma_req {
+                    self.dma_mask |= bit;
+                } else {
+                    self.dma_mask &= !bit;
+                }
+            }
+            match rx {
+                None => {}
+                Some(RxFx::Corrupted { slot }) => {
+                    self.tracker.release(r, slot);
+                    self.ledger.corrupted += 1;
+                }
+                Some(RxFx::Failed { slot }) => {
+                    self.tracker.release(r, slot);
+                    self.routed_drops += 1;
+                    self.ledger.dropped += 1;
+                }
+                Some(RxFx::Delivered { slot, len }) => {
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.record(
+                            now,
+                            TraceEvent::DescRx {
+                                rpu: r as u8,
+                                slot,
+                                len,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Stage-6 effects, ascending lane order; afterwards each active
+        // lane's freshly computed quiet horizon is published to the dense
+        // mirror (a lane that ran this cycle sleeps starting next cycle).
+        for r in 0..self.lanes.len() {
+            if now < self.lane_quiet[r] {
+                continue;
+            }
+            self.lane_quiet[r] = self.lanes[r].quiet_until;
+            match self.lanes[r].fx.tx.take() {
+                None => {}
+                Some(TxFx::Dropped { tag }) => {
+                    if tag != SELF_TAG {
+                        self.tracker.release(r, tag);
+                        self.ledger.dropped += 1;
+                    }
+                    self.routed_drops += 1;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.record(now, TraceEvent::DescDrop { rpu: r as u8, tag });
+                    }
+                }
+                Some(TxFx::Sent { tag, port, len }) => {
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.record(
+                            now,
+                            TraceEvent::DescTx {
+                                rpu: r as u8,
+                                tag,
+                                port,
+                                len,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        (self.rout_mask, self.dma_mask)
+    }
+
+    /// Stages 7–12 plus the periodic scans: everything after the per-lane
+    /// phase. `rout_mask`/`dma_mask` let the parallel kernel skip lanes
+    /// with nothing queued; the sequential kernel passes all-ones (lane 64
+    /// and above are never masked off).
+    fn tick_post(&mut self, now: Cycle, rout_mask: u64, dma_mask: u64) {
         // 7. Egress links → routing; slot freed once fully serialized out
         //    ("the interconnect notifies the LB about slot being freed after
         //    it is sent out", §4.2).
-        for r in 0..self.rpus.len() {
+        for r in 0..self.lanes.len() {
+            if r < 64 && rout_mask & (1 << r) == 0 {
+                continue;
+            }
             // Hold the egress link when the destination port's pipeline is
             // congested: self-originated traffic (no slot bound) must not
             // grow the egress queues without limit.
-            let Some(head) = self.rpu_out[r].front() else {
+            let Some(head) = self.lanes[r].rout.front() else {
+                // The link drained; a sleeping lane cannot refill it, so
+                // the persistent bit self-clears (a stale set bit only
+                // costs this one look).
+                if r < 64 {
+                    self.rout_mask &= !(1 << r);
+                }
                 continue;
             };
             let dest = head.desc.port as usize;
             if dest < self.ports.len() && self.ports[dest].tx_delay.len() >= 64 {
                 continue;
             }
-            if let Some(item) = self.rpu_out[r].pop_ready(now) {
+            if let Some(item) = self.lanes[r].rout.pop_ready(now) {
+                if r < 64 && self.lanes[r].rout.is_empty() {
+                    self.rout_mask &= !(1 << r);
+                }
                 if item.desc.tag != SELF_TAG {
                     self.tracker.release(item.src_rpu, item.desc.tag);
                 } else {
@@ -566,18 +862,26 @@ impl Rosebud {
                 self.host_rx.push(pkt);
                 self.ledger.delivered += 1;
             }
-            for r in 0..self.rpus.len() {
-                if let Some(req) = self.rpus[r].inner_mut().take_dma_req() {
+            for r in 0..self.lanes.len() {
+                if r < 64 && dma_mask & (1 << r) == 0 {
+                    continue;
+                }
+                if let Some(req) = self.lanes[r].rpu.inner_mut().take_dma_req() {
                     if let Some(t) = self.tracer.as_mut() {
                         t.dma_started(now, r, req.to_host, req.len);
                     }
                     self.host_dma_delay.push((r, req), now);
                 }
+                // The request (if any) is now in the PCIe stage; only a
+                // fresh lane phase can commit another one.
+                if r < 64 {
+                    self.dma_mask &= !(1 << r);
+                }
             }
         }
         if host_up {
             while let Some((r, req)) = self.host_dma_delay.pop_ready(now) {
-                let inner = self.rpus[r].inner_mut();
+                let inner = self.lanes[r].rpu.inner_mut();
                 if req.to_host {
                     let bytes = inner.pmem_copy_out(req.local_addr, req.len);
                     let at = (req.host_addr as usize).min(self.host_dram.len());
@@ -589,8 +893,9 @@ impl Rosebud {
                     let bytes = self.host_dram[at..end].to_vec();
                     inner.pmem_copy_in(req.local_addr, &bytes);
                 }
-                self.rpus[r].inner_mut().dma_complete();
-                self.rpus[r].raise_irq(irq::DMA);
+                self.lanes[r].rpu.inner_mut().dma_complete();
+                self.lanes[r].rpu.raise_irq(irq::DMA);
+                self.wake_lane(r);
                 if let Some(t) = self.tracer.as_mut() {
                     t.dma_completed(now, r);
                 }
@@ -599,18 +904,19 @@ impl Rosebud {
 
         // 11. Broadcast arbiter: one outbox visited per cycle; delivery is
         //     simultaneous at every RPU (§4.4).
-        let granted = self.bcast.granted_rpu(self.rpus.len());
-        if let Some(msg) = self.rpus[granted].inner_mut().pop_bcast() {
+        let granted = self.bcast.granted_rpu(self.lanes.len());
+        if let Some(msg) = self.lanes[granted].rpu.inner_mut().pop_bcast() {
             self.bcast.pipeline.push(msg, now);
         }
         while let Some(msg) = self.bcast.pipeline.pop_ready(now) {
             self.bcast.delivered += 1;
             self.bcast_latency
                 .record((now - msg.sent_at) as f64 * self.cfg.ns_per_cycle());
-            for rpu in &mut self.rpus {
-                let wants_irq = rpu.inner_mut().deliver_bcast(&msg);
+            for r in 0..self.lanes.len() {
+                let wants_irq = self.lanes[r].rpu.inner_mut().deliver_bcast(&msg);
                 if wants_irq {
-                    rpu.raise_irq(irq::BCAST);
+                    self.lanes[r].rpu.raise_irq(irq::BCAST);
+                    self.wake_lane(r);
                 }
             }
         }
@@ -646,15 +952,17 @@ impl Rosebud {
         for ev in due {
             let fault = self.fault.as_mut().expect("checked above");
             match ev.kind {
-                FaultKind::FirmwareHang { rpu } if rpu < self.rpus.len() => {
+                FaultKind::FirmwareHang { rpu } if rpu < self.lanes.len() => {
                     fault.last_fault_at[rpu] = Some(now);
-                    self.rpus[rpu].force_hang();
+                    self.lanes[rpu].rpu.force_hang();
+                    self.wake_lane(rpu);
                 }
-                FaultKind::FirmwareCrash { rpu } if rpu < self.rpus.len() => {
+                FaultKind::FirmwareCrash { rpu } if rpu < self.lanes.len() => {
                     fault.last_fault_at[rpu] = Some(now);
-                    self.rpus[rpu].force_crash();
+                    self.lanes[rpu].rpu.force_crash();
+                    self.wake_lane(rpu);
                 }
-                FaultKind::CorruptIngress { rpu, count } if rpu < self.rpus.len() => {
+                FaultKind::CorruptIngress { rpu, count } if rpu < self.lanes.len() => {
                     fault.corrupt_pending[rpu] += count;
                 }
                 FaultKind::RxFifoOverflow { port, cycles } if port < self.ports.len() => {
@@ -679,7 +987,7 @@ impl Rosebud {
         let Some(rpu) = self.lb.assign(front, &self.tracker, self.enabled) else {
             return false;
         };
-        if self.rpu_in[rpu].is_full() {
+        if self.lanes[rpu].rin.is_full() {
             return false;
         }
         let slot = self
@@ -747,7 +1055,7 @@ impl Rosebud {
         let Some(rpu) = self.lb.assign(front, &self.tracker, self.enabled) else {
             return;
         };
-        if self.rpu_in[rpu].is_full() {
+        if self.lanes[rpu].rin.is_full() {
             return;
         }
         let slot = self.tracker.alloc(rpu).expect("assign implies a free slot");
@@ -801,7 +1109,7 @@ impl Rosebud {
             let pkt = Packet::new(meta.packet_id, item.bytes, dest, meta.ts_gen);
             self.host_rx_delay.push(pkt, now);
         } else if dest >= port::LOOPBACK_BASE
-            && ((dest - port::LOOPBACK_BASE) as usize) < self.rpus.len()
+            && ((dest - port::LOOPBACK_BASE) as usize) < self.lanes.len()
         {
             if self.loopback.queue.push(item).is_err() {
                 self.loopback.counters.count_drop();
@@ -827,10 +1135,10 @@ impl Rosebud {
         // must hold the wire is the destination *region* being down —
         // draining, mid-reload, or crashed — because a slot allocated into
         // such a region would be wiped by the PR flush.
-        if !matches!(self.rpus[dst].state(), crate::rpu::RpuState::Running) {
+        if !matches!(self.lanes[dst].rpu.state(), crate::rpu::RpuState::Running) {
             return;
         }
-        if self.tracker.free_count(dst) == 0 || self.rpu_in[dst].is_full() {
+        if self.tracker.free_count(dst) == 0 || self.lanes[dst].rin.is_full() {
             return; // destination backpressure stalls the loopback wire
         }
         let item = self.loopback.wire.pop_ready(now).expect("head ready");
@@ -842,7 +1150,8 @@ impl Rosebud {
             orig_len: item.bytes.len() as u32,
         });
         let len = item.bytes.len() as u64;
-        self.rpu_in[dst]
+        self.lanes[dst]
+            .rin
             .push(
                 IngressItem {
                     rpu: dst,
@@ -857,6 +1166,7 @@ impl Rosebud {
                 len,
                 now,
             ).expect("fullness checked above");
+        self.wake_lane(dst);
     }
 
     fn advance_pr_jobs(&mut self, now: Cycle) {
@@ -865,12 +1175,13 @@ impl Rosebud {
             match self.pr_jobs[i].phase {
                 PrPhase::Draining => {
                     let r = self.pr_jobs[i].rpu;
-                    let in_flight = !self.rpu_in[r].is_empty()
-                        || !self.rpu_out[r].is_empty()
+                    let in_flight = !self.lanes[r].rin.is_empty()
+                        || !self.lanes[r].rout.is_empty()
                         || !self.tracker.all_free(r);
-                    if self.rpus[r].is_drained() && !in_flight {
+                    if self.lanes[r].rpu.is_drained() && !in_flight {
                         let until = now + self.cfg.pr_cycles;
-                        self.rpus[r].begin_reconfigure(until);
+                        self.lanes[r].rpu.begin_reconfigure(until);
+                        self.wake_lane(r);
                         self.pr_jobs[i].phase = PrPhase::Writing { until };
                     }
                     i += 1;
@@ -889,19 +1200,20 @@ impl Rosebud {
     fn finish_reconfigure(&mut self, job: PrJob) {
         let r = job.rpu;
         if let Some(accel) = job.accel {
-            self.rpus[r].set_accelerator(accel);
+            self.lanes[r].rpu.set_accelerator(accel);
         } else if let Some(factory) = &self.accel_factory {
-            self.rpus[r].set_accelerator(factory(r));
+            self.lanes[r].rpu.set_accelerator(factory(r));
         }
         let program = job.program.or_else(|| {
             self.firmware_factory.as_ref().map(|f| f(r))
         });
         match program {
-            Some(RpuProgram::Riscv(image)) => self.rpus[r].load_riscv(&image),
-            Some(RpuProgram::Native(fw)) => self.rpus[r].load_native(fw),
+            Some(RpuProgram::Riscv(image)) => self.lanes[r].rpu.load_riscv(&image),
+            Some(RpuProgram::Native(fw)) => self.lanes[r].rpu.load_native(fw),
             None => {}
         }
         self.tracker.flush(r);
+        self.wake_lane(r);
         if job.reenable {
             self.enabled |= 1 << r;
         }
@@ -924,12 +1236,11 @@ impl Rosebud {
             .map(|p| p.rx_mac.len() + p.rx_fifo.len() + p.tx_delay.len() + p.tx_mac.len())
             .sum();
         let links: usize = self
-            .rpu_in
+            .lanes
             .iter()
-            .map(Serializer::len)
-            .chain(self.rpu_out.iter().map(Serializer::len))
+            .map(|l| l.rin.len() + l.rout.len())
             .sum();
-        let rpu_slots: usize = (0..self.rpus.len())
+        let rpu_slots: usize = (0..self.lanes.len())
             .map(|r| self.cfg.slots_per_rpu - self.tracker.free_count(r))
             .sum();
         // Careful not to double count: slots cover packets queued in rx
@@ -947,7 +1258,7 @@ impl Rosebud {
     /// Installs a fault-injection schedule. Events already in the past
     /// (relative to the current cycle) trigger on the next tick.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault = Some(FaultState::new(plan, self.rpus.len(), self.ports.len()));
+        self.fault = Some(FaultState::new(plan, self.lanes.len(), self.ports.len()));
     }
 
     /// `true` once every installed fault has triggered and every fault
@@ -989,7 +1300,7 @@ impl Rosebud {
             .iter()
             .map(|p| p.rx_mac.len() + p.rx_fifo.len() + p.tx_delay.len() + p.tx_mac.len())
             .sum();
-        let slots: usize = (0..self.rpus.len())
+        let slots: usize = (0..self.lanes.len())
             .map(|r| self.cfg.slots_per_rpu - self.tracker.free_count(r))
             .sum();
         (mac
@@ -1053,11 +1364,11 @@ impl Rosebud {
     /// every RPU's RV32 core.
     pub fn enable_tracing(&mut self, cfg: TraceConfig) {
         if cfg.pc_profile {
-            for rpu in &mut self.rpus {
-                rpu.enable_profiling();
+            for lane in &mut self.lanes {
+                lane.rpu.enable_profiling();
             }
         }
-        self.tracer = Some(Tracer::new(cfg, self.rpus.len(), self.ports.len()));
+        self.tracer = Some(Tracer::new(cfg, self.lanes.len(), self.ports.len()));
     }
 
     /// The installed tracer, if tracing is enabled.
@@ -1097,18 +1408,18 @@ impl Rosebud {
             t.note_rx_fifo(now, p, self.ports[p].rx_fifo.bytes());
             t.note_tx_fifo(now, p, self.ports[p].tx_delay.len() as u32);
         }
-        for r in 0..self.rpus.len() {
-            t.note_state(now, r, rpu_state_name(&self.rpus[r]));
+        for r in 0..self.lanes.len() {
+            t.note_state(now, r, rpu_state_name(&self.lanes[r].rpu));
         }
         t.note_mask(now, self.enabled);
         let interval = t.config().counter_interval;
         if interval != 0 && now.is_multiple_of(interval) {
-            for r in 0..self.rpus.len() {
+            for r in 0..self.lanes.len() {
                 t.record(
                     now,
                     TraceEvent::CounterSample {
                         rpu: r as u8,
-                        perf: self.rpus[r].perf(),
+                        perf: self.lanes[r].rpu.perf(),
                     },
                 );
             }

@@ -277,7 +277,8 @@ fn host_loads_accelerator_local_memory() {
         fn tick(&mut self, _io: &mut RpuIo<'_>) {}
     }
     sys.write_rpu_mem(1, MemRegion::AccelMem, 0x40, &[7u8; 512]);
-    let accel = sys.rpus()[1].accelerator().unwrap();
+    let rpus = sys.rpus();
+    let accel = rpus[1].accelerator().unwrap();
     assert_eq!(accel.name(), "pigasus-mpse");
     // AccelMem reads are write-only from the host (readback goes through
     // the DMA engine only when the accelerator is quiescent, §4.1).

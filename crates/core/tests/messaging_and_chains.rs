@@ -44,7 +44,8 @@ fn riscv_firmware_broadcasts_through_the_semi_coherent_region() {
     sys.run(20_000);
     // Every RPU's mirror holds a recent timer value at offset 16.
     for r in 0..4 {
-        let mirror = sys.rpus()[r].inner().bcast_mirror();
+        let rpus = sys.rpus();
+        let mirror = rpus[r].inner().bcast_mirror();
         let word = u32::from_le_bytes(mirror[16..20].try_into().unwrap());
         assert!(
             word > 0 && u64::from(word) < 20_000,

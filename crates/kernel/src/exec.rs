@@ -1,0 +1,178 @@
+//! Execution-kernel selection and deterministic work partitioning.
+//!
+//! The simulator has two cycle-advancement kernels with identical
+//! architectural semantics:
+//!
+//! * **Sequential** — the reference kernel: every pipeline stage iterates the
+//!   RPUs in index order, exactly as the stages are written. Simple, slow,
+//!   and the oracle the differential suite compares against.
+//! * **Parallel** — the barrier-synchronized kernel: the per-RPU *lane
+//!   phase* (ISS execution, DMA delivery, descriptor commit — the dominant
+//!   cost) runs fused per lane, optionally spread over a worker pool, and
+//!   every shared-resource side effect (slot tracker, conservation ledger,
+//!   tracer) is resolved at the cycle barrier in fixed stage-major,
+//!   lane-ascending order. Traces are byte-identical to the sequential
+//!   kernel for every seed; `tests/kernel_equivalence.rs` and the golden
+//!   suite enforce this.
+//!
+//! The mode is chosen by [`KernelMode::from_env`] (the `ROSEBUD_KERNEL`
+//! environment variable) so an unmodified test suite can be matrixed over
+//! both kernels, or programmatically through the system builder.
+
+use std::ops::Range;
+
+/// Which simulation kernel advances the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// The stage-sliced reference kernel (the differential-testing oracle).
+    Sequential,
+    /// The fused-lane barrier kernel.
+    Parallel {
+        /// Worker threads for the lane phase. `0` runs the fused lane phase
+        /// inline on the coordinator thread — the right choice on a
+        /// single-core host, and still substantially faster than the
+        /// sequential kernel because of the fused per-lane pass.
+        workers: usize,
+        /// Scheduling quantum in cycles: how often the partitioner may
+        /// rebalance lanes across workers using observed per-lane cost.
+        /// Shared-resource resolution happens at every cycle barrier
+        /// regardless, so the quantum affects scheduling only — never
+        /// simulation results (`tests/properties.rs` proves this for
+        /// quanta 1..=64).
+        quantum: u32,
+    },
+}
+
+/// Default scheduling quantum: rebalance at most every 1024 cycles.
+pub const DEFAULT_QUANTUM: u32 = 1024;
+
+impl KernelMode {
+    /// Reads the kernel selection from the environment:
+    ///
+    /// * `ROSEBUD_KERNEL` — `sequential` (default) or `parallel`,
+    /// * `ROSEBUD_WORKERS` — worker-thread count for the parallel kernel
+    ///   (default: available parallelism minus the coordinator),
+    /// * `ROSEBUD_QUANTUM` — scheduling quantum in cycles (default 1024).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `ROSEBUD_KERNEL` value or unparsable
+    /// numeric variable — a typo in a CI matrix should fail loudly, not
+    /// silently fall back to the reference kernel.
+    pub fn from_env() -> Self {
+        let parse = |name: &str, default: usize| -> usize {
+            match std::env::var(name) {
+                Ok(v) => v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+                Err(_) => default,
+            }
+        };
+        match std::env::var("ROSEBUD_KERNEL").as_deref() {
+            Err(_) | Ok("sequential") => KernelMode::Sequential,
+            Ok("parallel") => {
+                let default_workers = std::thread::available_parallelism()
+                    .map(|n| n.get().saturating_sub(1))
+                    .unwrap_or(0);
+                KernelMode::Parallel {
+                    workers: parse("ROSEBUD_WORKERS", default_workers),
+                    quantum: parse("ROSEBUD_QUANTUM", DEFAULT_QUANTUM as usize).max(1) as u32,
+                }
+            }
+            Ok(other) => panic!(
+                "ROSEBUD_KERNEL must be \"sequential\" or \"parallel\", got {other:?}"
+            ),
+        }
+    }
+}
+
+/// Splits `n` lanes into at most `parts` contiguous, non-empty ranges whose
+/// total `weights` are as balanced as a left-to-right greedy split can make
+/// them. Weights are per-lane costs observed by the scheduler (e.g. firmware
+/// cycles retired in the last quantum); they influence *scheduling only* —
+/// results are independent of the partition because all cross-lane effects
+/// are replayed in lane order at the barrier.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_kernel::partition;
+/// let parts = partition(&[1, 1, 1, 1], 2);
+/// assert_eq!(parts, vec![0..2, 2..4]);
+/// // A heavy lane 0 gets its own worker.
+/// let parts = partition(&[100, 1, 1, 1], 2);
+/// assert_eq!(parts, vec![0..1, 1..4]);
+/// ```
+pub fn partition(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    let parts = parts.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: u64 = weights.iter().map(|w| w.max(&1)).sum();
+    let target = total.div_ceil(parts as u64);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, w) in weights.iter().enumerate() {
+        acc += (*w).max(1);
+        // Close the range when the target is met, but always leave at least
+        // one lane per remaining part.
+        let remaining_parts = parts - out.len();
+        let remaining_lanes = n - i - 1;
+        if (acc >= target && remaining_parts > 1 && remaining_lanes >= remaining_parts - 1)
+            || remaining_lanes + 1 == remaining_parts
+        {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_exactly_once() {
+        for n in 1..=20 {
+            for parts in 1..=8 {
+                let weights: Vec<u64> = (0..n).map(|i| (i * 7 % 13) as u64).collect();
+                let ranges = partition(&weights, parts);
+                assert!(ranges.len() <= parts.max(1));
+                let mut covered = Vec::new();
+                for r in &ranges {
+                    assert!(!r.is_empty(), "empty range for n={n} parts={parts}");
+                    covered.extend(r.clone());
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balances_uniform_weights() {
+        let ranges = partition(&[1; 16], 4);
+        assert_eq!(ranges, vec![0..4, 4..8, 8..12, 12..16]);
+    }
+
+    #[test]
+    fn more_parts_than_lanes_degrades_to_one_lane_each() {
+        let ranges = partition(&[5, 5], 8);
+        assert_eq!(ranges, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn default_mode_is_sequential() {
+        // The test runner may set ROSEBUD_KERNEL; only assert the default
+        // when it is absent.
+        if std::env::var("ROSEBUD_KERNEL").is_err() {
+            assert_eq!(KernelMode::from_env(), KernelMode::Sequential);
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 mod clock;
 mod delay;
+mod exec;
 mod fifo;
 mod rng;
 mod serializer;
@@ -42,6 +43,7 @@ mod stats;
 
 pub use clock::{Clock, Cycle, DEFAULT_CLOCK_HZ};
 pub use delay::DelayLine;
+pub use exec::{partition, KernelMode, DEFAULT_QUANTUM};
 pub use fifo::Fifo;
 pub use rng::SimRng;
 pub use serializer::Serializer;

@@ -69,6 +69,16 @@ impl std::fmt::Display for BusFault {
 
 impl std::error::Error for BusFault {}
 
+/// An instruction fetch result: either the raw word (the core decodes it) or
+/// an already-decoded instruction from a bus-side decode cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetched {
+    /// The raw instruction word; the core runs the decoder on it.
+    Word(u32),
+    /// A predecoded instruction, bypassing the decoder entirely.
+    Decoded(Instr),
+}
+
 /// The memory system as seen by the core: instruction fetches, loads, and
 /// stores. Implemented by each RPU's memory subsystem.
 pub trait Bus {
@@ -85,6 +95,18 @@ pub trait Bus {
     ///
     /// Returns [`BusFault`] for unmapped addresses.
     fn store(&mut self, addr: u32, value: u32, size: AccessSize) -> Result<u32, BusFault>;
+
+    /// Fetches the instruction at `pc`. The default forwards to [`load`];
+    /// buses with a [`DecodeCache`](crate::DecodeCache) override this to
+    /// return predecoded instructions. Either way the architectural outcome
+    /// must be identical to a plain word load plus decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for unmapped addresses.
+    fn fetch(&mut self, pc: u32) -> Result<Fetched, BusFault> {
+        self.load(pc, AccessSize::Word).map(|v| Fetched::Word(v.value))
+    }
 }
 
 /// CSR addresses the core implements.
@@ -310,6 +332,18 @@ impl Cpu {
         self.halted == Halt::Wfi
     }
 
+    /// `true` when a [`Cpu::step`] is guaranteed to change no core state:
+    /// halted on `ebreak`/fault, or parked in `wfi` with no pending unmasked
+    /// interrupt. Event-skipping simulation kernels use this to elide ticks;
+    /// any [`Cpu::raise_irq`] invalidates the answer.
+    pub fn is_parked(&self) -> bool {
+        match self.halted {
+            Halt::Break | Halt::Fault => true,
+            Halt::Wfi => self.mip & self.mie == 0,
+            Halt::Running => false,
+        }
+    }
+
     /// Resumes a core halted by `ebreak` (host "continue").
     pub fn resume(&mut self) {
         if self.halted == Halt::Break {
@@ -423,18 +457,18 @@ impl Cpu {
             };
         }
 
-        let word = match bus.load(self.pc, AccessSize::Word) {
-            Ok(v) => v.value,
+        let instr = match bus.fetch(self.pc) {
+            Ok(Fetched::Decoded(i)) => i,
+            Ok(Fetched::Word(word)) => match decode(word) {
+                Ok(i) => i,
+                Err(_) => {
+                    self.halted = Halt::Fault;
+                    return StepResult::Fault(CpuFault::IllegalInstruction { pc: self.pc, word });
+                }
+            },
             Err(fault) => {
                 self.halted = Halt::Fault;
                 return StepResult::Fault(CpuFault::Bus(fault));
-            }
-        };
-        let instr = match decode(word) {
-            Ok(i) => i,
-            Err(_) => {
-                self.halted = Halt::Fault;
-                return StepResult::Fault(CpuFault::IllegalInstruction { pc: self.pc, word });
             }
         };
 
@@ -652,6 +686,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
 #[derive(Debug, Clone)]
 pub struct RamBus {
     mem: Vec<u8>,
+    icache: Option<crate::DecodeCache>,
 }
 
 impl RamBus {
@@ -659,7 +694,20 @@ impl RamBus {
     pub fn new(size: usize) -> Self {
         Self {
             mem: vec![0; size],
+            icache: None,
         }
+    }
+
+    /// Enables the decoded-instruction cache over the whole RAM. Purely a
+    /// speed knob: fetch results and fault behaviour are unchanged.
+    pub fn with_decode_cache(mut self) -> Self {
+        self.icache = Some(crate::DecodeCache::new(self.mem.len()));
+        self
+    }
+
+    /// The decode cache's counters, when one is enabled.
+    pub fn decode_cache_stats(&self) -> Option<crate::DecodeCacheStats> {
+        self.icache.as_ref().map(crate::DecodeCache::stats)
     }
 
     /// Copies a word image to `base` (the boot loader path).
@@ -667,6 +715,10 @@ impl RamBus {
         for (i, w) in words.iter().enumerate() {
             let at = base as usize + i * 4;
             self.mem[at..at + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        if let Some(cache) = &mut self.icache {
+            cache.invalidate_bytes(base, words.len() * 4);
+            cache.predecode(base, words);
         }
     }
 
@@ -706,7 +758,33 @@ impl Bus for RamBus {
             });
         }
         self.mem[addr..addr + n].copy_from_slice(&value.to_le_bytes()[..n]);
+        if let Some(cache) = &mut self.icache {
+            cache.invalidate_bytes(addr as u32, n);
+        }
         Ok(0)
+    }
+
+    fn fetch(&mut self, pc: u32) -> Result<Fetched, BusFault> {
+        let Some(cache) = &mut self.icache else {
+            return self.load(pc, AccessSize::Word).map(|v| Fetched::Word(v.value));
+        };
+        if !cache.covers(pc) || pc as usize + 4 > self.mem.len() {
+            return self.load(pc, AccessSize::Word).map(|v| Fetched::Word(v.value));
+        }
+        if let Some(i) = cache.get(pc) {
+            return Ok(Fetched::Decoded(i));
+        }
+        let at = pc as usize;
+        let word = u32::from_le_bytes(self.mem[at..at + 4].try_into().expect("4-byte slice"));
+        Ok(match decode(word) {
+            Ok(i) => {
+                cache.fill(pc, i);
+                Fetched::Decoded(i)
+            }
+            // Never cache undecodable words: the core must re-read the raw
+            // word and fault with the exact pc/word the uncached path reports.
+            Err(_) => Fetched::Word(word),
+        })
     }
 }
 

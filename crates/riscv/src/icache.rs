@@ -1,0 +1,175 @@
+//! The decoded-instruction cache: a dense predecoded mirror of instruction
+//! memory.
+//!
+//! The interpreter's hot path re-decodes the same instruction words every
+//! time the core revisits a PC, even though firmware images are tiny and
+//! almost never change. This cache predecodes instruction memory into the
+//! internal [`Instr`] IR, indexed directly by word address, so a fetch
+//! becomes one bounds check and one array read. It is a pure host-side
+//! optimisation: cycle accounting, fault behaviour, and architectural state
+//! are byte-identical with the cache on or off.
+//!
+//! Correctness rests on strict invalidation: any store that overlaps
+//! instruction memory — from the core itself, the host debug interface, or
+//! a firmware reload after partial reconfiguration — clears the overlapped
+//! word slots, and a reload clears everything before re-predecoding the new
+//! image. Words that fail to decode are never cached, so an illegal fetch
+//! always re-reads the raw word and faults with the exact `pc`/`word` pair
+//! the uncached path reports.
+
+use crate::isa::{decode, Instr};
+
+/// Hit/miss/invalidation counters for the cache (host-visible diagnostics;
+/// they have no architectural effect).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Fetches answered from a predecoded slot.
+    pub hits: u64,
+    /// Fetches that had to decode (and, when legal, fill a slot).
+    pub misses: u64,
+    /// Word slots cleared by stores or reloads.
+    pub invalidations: u64,
+}
+
+/// A decoded-instruction cache covering one instruction memory starting at
+/// address 0, one slot per 32-bit word.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    slots: Vec<Option<Instr>>,
+    stats: DecodeCacheStats,
+}
+
+impl DecodeCache {
+    /// A cache covering `imem_bytes` of instruction memory at address 0.
+    pub fn new(imem_bytes: usize) -> Self {
+        Self {
+            slots: vec![None; imem_bytes / 4],
+            stats: DecodeCacheStats::default(),
+        }
+    }
+
+    /// `true` when `pc` is a word-aligned address inside the covered range.
+    /// Misaligned fetches (`jalr` only clears bit 0, so `pc % 4 == 2` is
+    /// architecturally reachable) take the uncached path.
+    #[inline]
+    pub fn covers(&self, pc: u32) -> bool {
+        pc & 3 == 0 && ((pc >> 2) as usize) < self.slots.len()
+    }
+
+    /// Looks up the slot for `pc` (which must satisfy [`covers`]).
+    ///
+    /// [`covers`]: DecodeCache::covers
+    #[inline]
+    pub fn get(&mut self, pc: u32) -> Option<Instr> {
+        let slot = self.slots[(pc >> 2) as usize];
+        if slot.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        slot
+    }
+
+    /// Records the decoded form of the word at `pc`.
+    #[inline]
+    pub fn fill(&mut self, pc: u32, instr: Instr) {
+        self.slots[(pc >> 2) as usize] = Some(instr);
+    }
+
+    /// Invalidates every word slot overlapped by a store of `len` bytes at
+    /// `addr` (sub-word stores clear the whole containing word).
+    pub fn invalidate_bytes(&mut self, addr: u32, len: usize) {
+        let first = (addr >> 2) as usize;
+        let last = ((addr as usize + len.max(1) - 1) >> 2).min(self.slots.len().saturating_sub(1));
+        for slot in first..=last {
+            if let Some(s) = self.slots.get_mut(slot) {
+                if s.take().is_some() {
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops every cached entry (firmware reload, partial reconfiguration).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            if s.take().is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Eagerly decodes an image of `words` loaded at byte address `base`,
+    /// filling every legal word's slot so the first pass over fresh firmware
+    /// already hits.
+    pub fn predecode(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            let pc = base + (i as u32) * 4;
+            if self.covers(pc) {
+                if let Ok(instr) = decode(w) {
+                    self.fill(pc, instr);
+                }
+            }
+        }
+    }
+
+    /// Hit/miss/invalidation counts so far.
+    pub fn stats(&self) -> DecodeCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn predecode_then_hit() {
+        let image = assemble("addi a0, zero, 1\nebreak").unwrap();
+        let mut c = DecodeCache::new(1024);
+        c.predecode(0, image.words());
+        assert!(c.get(0).is_some());
+        assert!(c.get(4).is_some());
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn store_invalidates_containing_word() {
+        let image = assemble("addi a0, zero, 1\nebreak").unwrap();
+        let mut c = DecodeCache::new(1024);
+        c.predecode(0, image.words());
+        c.invalidate_bytes(5, 1); // byte store into the second word
+        assert!(c.get(0).is_some());
+        assert!(c.get(4).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn straddling_store_invalidates_both_words() {
+        let image = assemble("addi a0, zero, 1\naddi a0, a0, 1\nebreak").unwrap();
+        let mut c = DecodeCache::new(1024);
+        c.predecode(0, image.words());
+        // A 4-byte store at offset 2 touches words 0 and 1.
+        c.invalidate_bytes(2, 4);
+        assert!(c.get(0).is_none());
+        assert!(c.get(4).is_none());
+        assert!(c.get(8).is_some());
+    }
+
+    #[test]
+    fn misaligned_pc_is_not_covered() {
+        let c = DecodeCache::new(1024);
+        assert!(c.covers(0));
+        assert!(!c.covers(2));
+        assert!(!c.covers(1024));
+    }
+
+    #[test]
+    fn illegal_words_are_never_cached() {
+        let mut c = DecodeCache::new(64);
+        c.predecode(0, &[0x0000_0000, 0xffff_ffff]);
+        assert!(c.get(0).is_none());
+        assert!(c.get(4).is_none());
+    }
+}

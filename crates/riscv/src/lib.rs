@@ -39,12 +39,15 @@
 mod asm;
 mod cpu;
 mod disasm;
+mod icache;
 mod isa;
 
 pub use asm::{assemble, assemble_at, AsmError, Image};
 pub use cpu::{
-    csr, AccessSize, Bus, BusFault, BusValue, CostModel, Cpu, CpuFault, RamBus, StepResult,
+    csr, AccessSize, Bus, BusFault, BusValue, CostModel, Cpu, CpuFault, Fetched, RamBus,
+    StepResult,
 };
+pub use icache::{DecodeCache, DecodeCacheStats};
 pub use disasm::{disassemble, disassemble_image};
 pub use isa::{
     decode, encode, AluOp, BranchOp, CsrOp, CsrSrc, DecodeError, EncodeError, Instr, LoadOp,

@@ -1,0 +1,256 @@
+//! Differential kernel-equivalence suite: every scenario here is run under
+//! the sequential reference kernel and the parallel kernel (fused
+//! single-thread and worker-threaded), and the *complete observable
+//! output* — the cycle-stamped compact trace, the conservation ledger, the
+//! diagnostics snapshot, and the benchmark measurement — must be
+//! byte-identical. The sequential kernel is the oracle; any divergence is
+//! a parallel-kernel bug (usually a missed wake in quiescent-lane elision
+//! or a mis-ordered barrier replay).
+//!
+//! The scenarios are chosen to stress exactly the mechanisms that could
+//! diverge: busy-poll forwarding (barrier replay ordering), duty-cycled
+//! `wfi` firmware (elision wake-on-ingress and the timer alarm), firewall
+//! injection (host virtual interface + accelerators), and chaos runs
+//! (faults, supervisor-driven eviction/PR/reload against lanes that may be
+//! asleep when the host reaches in).
+
+use rosebud::apps::firewall::{build_firewall_system, firewall_trace, synthetic_blacklist, NoopGen};
+use rosebud::apps::forwarder::{
+    build_duty_cycle_forwarding_system, build_forwarding_system, build_watchdog_forwarding_system,
+};
+use rosebud::core::{
+    FaultKind, FaultPlan, Harness, KernelMode, Rosebud, Supervisor, SupervisorConfig, TraceConfig,
+};
+use rosebud::net::{FixedSizeGen, ImixGen};
+
+/// The kernels under test. `workers: 0` exercises the fused coordinator
+/// loop (and quiescent-lane elision); `workers: 2` routes lane phases
+/// through the worker pool, exercising the quantum rebalancer and the
+/// split/reassemble path.
+fn kernels() -> Vec<(&'static str, KernelMode)> {
+    vec![
+        ("sequential", KernelMode::Sequential),
+        ("parallel-fused", KernelMode::Parallel { workers: 0, quantum: 1024 }),
+        ("parallel-threaded", KernelMode::Parallel { workers: 2, quantum: 256 }),
+    ]
+}
+
+/// Everything a scenario observably produces.
+#[derive(PartialEq)]
+struct Observed {
+    trace: String,
+    ledger: String,
+    diagnostics: String,
+    measurement: String,
+    received: u64,
+    injected: u64,
+    drops: u64,
+}
+
+fn trace_cfg() -> TraceConfig {
+    TraceConfig {
+        counter_interval: 4096,
+        pc_profile: true,
+        max_events: 1 << 21,
+    }
+}
+
+/// Runs `sys` under the harness for `cycles`, collecting the full
+/// observable output.
+fn observe(mut h: Harness, cycles: u64) -> Observed {
+    h.begin_window();
+    h.run(cycles);
+    let m = h.measure();
+    Observed {
+        trace: h.sys.take_tracer().expect("tracing enabled").compact_text(),
+        ledger: format!("{:?}", h.sys.ledger()),
+        diagnostics: format!("{:?}", h.sys.diagnostics()),
+        measurement: format!("{m:?}"),
+        received: h.received(),
+        injected: h.injected(),
+        drops: h.sys.drop_count(),
+    }
+}
+
+/// Asserts that every kernel produced the oracle's exact output, pointing
+/// at the first diverging trace line when not.
+fn assert_equivalent(scenario: &str, runs: &[(&str, Observed)]) {
+    let (oracle_name, oracle) = &runs[0];
+    assert_eq!(*oracle_name, "sequential", "oracle must run first");
+    for (name, got) in &runs[1..] {
+        if got.trace != oracle.trace {
+            for (i, (want, have)) in oracle.trace.lines().zip(got.trace.lines()).enumerate() {
+                assert_eq!(
+                    want,
+                    have,
+                    "{scenario}: {name} trace diverges from sequential at line {}",
+                    i + 1
+                );
+            }
+            panic!(
+                "{scenario}: {name} trace length differs ({} vs {} lines)",
+                oracle.trace.lines().count(),
+                got.trace.lines().count()
+            );
+        }
+        assert_eq!(got.ledger, oracle.ledger, "{scenario}: {name} ledger");
+        assert_eq!(got.diagnostics, oracle.diagnostics, "{scenario}: {name} diagnostics");
+        assert_eq!(got.measurement, oracle.measurement, "{scenario}: {name} measurement");
+        assert_eq!(got.received, oracle.received, "{scenario}: {name} received");
+        assert_eq!(got.injected, oracle.injected, "{scenario}: {name} injected");
+        assert_eq!(got.drops, oracle.drops, "{scenario}: {name} drops");
+    }
+}
+
+/// Runs `scenario` once per kernel and demands identical output.
+fn differential(scenario: &str, run: impl Fn(KernelMode) -> Observed) {
+    let runs: Vec<(&str, Observed)> =
+        kernels().into_iter().map(|(name, k)| (name, run(k))).collect();
+    assert_equivalent(scenario, &runs);
+    // Non-vacuity: the scenario must actually have produced events.
+    assert!(
+        !runs[0].1.trace.is_empty(),
+        "{scenario}: empty trace proves nothing"
+    );
+}
+
+fn with_kernel(mut sys: Rosebud, kernel: KernelMode) -> Rosebud {
+    sys.set_kernel(kernel);
+    sys.enable_tracing(trace_cfg());
+    sys
+}
+
+#[test]
+fn forwarder_is_kernel_invariant() {
+    differential("forwarder", |k| {
+        let sys = with_kernel(build_forwarding_system(8).unwrap(), k);
+        observe(Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 60.0), 30_000)
+    });
+}
+
+#[test]
+fn forwarder_imix_is_kernel_invariant_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        differential(&format!("forwarder-imix seed={seed}"), |k| {
+            let sys = with_kernel(build_forwarding_system(16).unwrap(), k);
+            observe(Harness::new(sys, Box::new(ImixGen::new(2, seed)), 120.0), 25_000)
+        });
+    }
+}
+
+#[test]
+fn duty_cycle_forwarder_is_kernel_invariant() {
+    // The prime elision differential: lanes park in `wfi` between timer
+    // alarms, so every ingress push against a sleeping lane must wake it on
+    // exactly the right cycle.
+    for seed in [3u64, 19] {
+        differential(&format!("duty-cycle seed={seed}"), |k| {
+            let sys = with_kernel(build_duty_cycle_forwarding_system(16, 700).unwrap(), k);
+            observe(Harness::new(sys, Box::new(ImixGen::new(2, seed)), 8.0), 40_000)
+        });
+    }
+}
+
+#[test]
+fn firewall_is_kernel_invariant() {
+    differential("firewall", |k| {
+        let blacklist = synthetic_blacklist(6, 7);
+        let sys = with_kernel(build_firewall_system(4, &blacklist).unwrap(), k);
+        let trace = firewall_trace(&blacklist, 16, 256);
+        let mut h = Harness::new(sys, Box::new(NoopGen), 0.0);
+        for pkt in &trace {
+            let mut p = pkt.clone();
+            loop {
+                match h.sys.inject(p) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        p = back;
+                        h.tick();
+                    }
+                }
+            }
+            h.tick();
+        }
+        observe(h, 6_000)
+    });
+}
+
+#[test]
+fn chaos_recovery_is_kernel_invariant_across_seeds() {
+    // Faults, supervisor-driven drain/evict/PR/reload, and live IMIX
+    // traffic — the host reaches into lanes that may be mid-sleep, so every
+    // host-side mutator's wake is on trial here.
+    for seed in [11u64, 23] {
+        differential(&format!("chaos seed={seed}"), |k| {
+            let mut sys = build_watchdog_forwarding_system(8, 64).unwrap();
+            sys.install_fault_plan(
+                FaultPlan::new(seed)
+                    .at(8_000, FaultKind::FirmwareHang { rpu: 3 })
+                    .at(22_000, FaultKind::FirmwareCrash { rpu: 5 }),
+            );
+            let sys = with_kernel(sys, k);
+            let mut h = Harness::new(sys, Box::new(ImixGen::new(2, seed)), 60.0);
+            let mut sup = Supervisor::with_config(
+                &h.sys,
+                SupervisorConfig {
+                    drain_timeout: 4_000,
+                    ..SupervisorConfig::default()
+                },
+            );
+            h.begin_window();
+            for _ in 0..60_000 {
+                h.tick();
+                sup.poll(&mut h.sys);
+            }
+            let m = h.measure();
+            Observed {
+                trace: h.sys.take_tracer().unwrap().compact_text(),
+                ledger: format!("{:?}", h.sys.ledger()),
+                diagnostics: format!("{:?}", h.sys.diagnostics()),
+                measurement: format!("{m:?}"),
+                received: h.received(),
+                injected: h.injected(),
+                drops: h.sys.drop_count(),
+            }
+        });
+    }
+}
+
+#[test]
+fn host_pokes_against_sleeping_lanes_are_kernel_invariant() {
+    // Direct missed-wake hunt: park a duty-cycled fleet under light load
+    // and fire host-side state changes (pokes, broadcast wakes via the
+    // debug register, firmware reload) at fixed cycles. Each one must take
+    // effect on the same cycle under every kernel.
+    differential("host-pokes", |k| {
+        let sys = with_kernel(build_duty_cycle_forwarding_system(8, 900).unwrap(), k);
+        let mut h = Harness::new(sys, Box::new(ImixGen::new(2, 5)), 4.0);
+        h.begin_window();
+        for cycle in 0..50_000u64 {
+            match cycle {
+                10_000 => h.sys.poke(2),
+                17_500 => h.sys.write_debug(6, 0xdead_beef),
+                25_000 => {
+                    let image = rosebud::riscv::assemble(
+                        &rosebud::apps::forwarder::duty_cycle_forwarder_asm(300),
+                    )
+                    .unwrap();
+                    h.sys.load_rpu_firmware(4, &image);
+                }
+                33_000 => h.sys.poke(7),
+                _ => {}
+            }
+            h.tick();
+        }
+        let m = h.measure();
+        Observed {
+            trace: h.sys.take_tracer().unwrap().compact_text(),
+            ledger: format!("{:?}", h.sys.ledger()),
+            diagnostics: format!("{:?}", h.sys.diagnostics()),
+            measurement: format!("{m:?}"),
+            received: h.received(),
+            injected: h.injected(),
+            drops: h.sys.drop_count(),
+        }
+    });
+}

@@ -75,3 +75,60 @@ proptest! {
         }
     }
 }
+
+/// Kernel-partitioning invariance: the parallel kernel's observable output
+/// must not depend on its tuning knobs. Whatever the barrier quantum
+/// (including the degenerate 1-cycle quantum) and however the lanes are
+/// partitioned across worker threads (including zero workers, the fused
+/// coordinator loop), the conservation ledger and the full compact trace
+/// must match the sequential oracle byte for byte.
+mod kernel_partitioning {
+    use proptest::prelude::*;
+    use rosebud::apps::forwarder::build_duty_cycle_forwarding_system;
+    use rosebud::core::{Harness, KernelMode, TraceConfig};
+    use rosebud::net::ImixGen;
+
+    fn observe(kernel: KernelMode, rpus: usize, seed: u64) -> (String, String) {
+        let mut sys = build_duty_cycle_forwarding_system(rpus, 300).unwrap();
+        sys.set_kernel(kernel);
+        sys.enable_tracing(TraceConfig {
+            counter_interval: 2048,
+            pc_profile: false,
+            max_events: 1 << 20,
+        });
+        let mut h = Harness::new(sys, Box::new(ImixGen::new(2, seed)), 20.0);
+        h.run(12_000);
+        (
+            format!("{:?}", h.sys.ledger()),
+            h.sys.take_tracer().unwrap().compact_text(),
+        )
+    }
+
+    proptest! {
+        // Each case runs the scenario twice (oracle + candidate); keep the
+        // case count modest.
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn any_quantum_and_partitioning_matches_sequential(
+            quantum in 1u32..=64,
+            workers in 0usize..=5,
+            rpus in prop_oneof![Just(4usize), Just(8), Just(16)],
+            seed in any::<u64>(),
+        ) {
+            let (seq_ledger, seq_trace) = observe(KernelMode::Sequential, rpus, seed);
+            let (par_ledger, par_trace) =
+                observe(KernelMode::Parallel { workers, quantum }, rpus, seed);
+            prop_assert_eq!(
+                &par_ledger, &seq_ledger,
+                "ledger diverged (quantum={}, workers={}, rpus={})",
+                quantum, workers, rpus
+            );
+            prop_assert_eq!(
+                par_trace, seq_trace,
+                "trace diverged (quantum={}, workers={}, rpus={})",
+                quantum, workers, rpus
+            );
+        }
+    }
+}

@@ -15,10 +15,43 @@ use rosebud::apps::forwarder::{build_forwarding_system, build_watchdog_forwardin
 use rosebud::core::{FaultKind, FaultPlan, Harness, Supervisor, SupervisorConfig, TraceConfig};
 use rosebud::net::{FixedSizeGen, ImixGen};
 
+/// Every snapshot this suite owns. `assert_golden` refuses names outside
+/// this registry, and `golden_dir_has_no_orphans` refuses files under
+/// `tests/golden/` that no test reads — an orphaned snapshot silently
+/// stops guarding anything, which is worse than a missing one.
+const GOLDEN_SNAPSHOTS: &[&str] = &["forwarder.trace", "firewall.trace"];
+
 fn golden_path(name: &str) -> PathBuf {
+    assert!(
+        GOLDEN_SNAPSHOTS.contains(&name),
+        "snapshot {name:?} is not in GOLDEN_SNAPSHOTS; register it there \
+         so the orphan check knows it is owned"
+    );
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(name)
+}
+
+/// Fails on files under `tests/golden/` that no test owns — in both the
+/// normal and the `UPDATE_GOLDEN=1` paths, since a refresh run is exactly
+/// when a renamed snapshot leaves its stale predecessor behind.
+#[test]
+fn golden_dir_has_no_orphans() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut orphans = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("tests/golden must exist") {
+        let name = entry.expect("readable dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        if !GOLDEN_SNAPSHOTS.contains(&name.as_str()) {
+            orphans.push(name);
+        }
+    }
+    orphans.sort();
+    assert!(
+        orphans.is_empty(),
+        "orphaned files under tests/golden/ (no test reads them — delete \
+         them or register them in GOLDEN_SNAPSHOTS): {orphans:?}"
+    );
 }
 
 /// Compares `actual` against the named snapshot, reporting the first
