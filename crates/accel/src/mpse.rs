@@ -135,8 +135,7 @@ impl RuleSet {
             .iter()
             .find(|r| r.id == rule_id)
             .map(|r| {
-                r.src_port.is_none_or(|p| p == src_port)
-                    && r.dst_port.is_none_or(|p| p == dst_port)
+                r.src_port.is_none_or(|p| p == src_port) && r.dst_port.is_none_or(|p| p == dst_port)
             })
             .unwrap_or(false)
     }
@@ -296,9 +295,7 @@ impl Accelerator for PigasusMatcher {
     fn read_reg(&mut self, offset: u32) -> RegRead {
         match offset {
             PIG_MATCH_REG => RegRead::fast(u32::from(!self.results.is_empty())),
-            PIG_RULE_ID_REG => {
-                RegRead::fast(self.results.front().map_or(0, |e| e.rule_id))
-            }
+            PIG_RULE_ID_REG => RegRead::fast(self.results.front().map_or(0, |e| e.rule_id)),
             PIG_SLOT_REG => RegRead::fast(self.results.front().map_or(0, |e| u32::from(e.slot))),
             PIG_DMA_STAT_REG => {
                 // Low byte: busy flag; byte 1: completed-job count; byte 2:
@@ -338,9 +335,10 @@ impl Accelerator for PigasusMatcher {
                 // Raw lw of [src_hi, src_lo, dst_hi, dst_lo]: normalize to
                 // src << 16 | dst in host order.
                 let b = value.to_le_bytes();
-                self.reg_ports =
-                    (u32::from(b[0]) << 24) | (u32::from(b[1]) << 16) | (u32::from(b[2]) << 8)
-                        | u32::from(b[3]);
+                self.reg_ports = (u32::from(b[0]) << 24)
+                    | (u32::from(b[1]) << 16)
+                    | (u32::from(b[2]) << 8)
+                    | u32::from(b[3]);
             }
             PIG_STATE_L_REG => self.reg_state_l = value,
             PIG_STATE_H_REG => self.reg_state_h = value,
@@ -487,8 +485,14 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                MatchEvent { slot: 5, rule_id: 100 },
-                MatchEvent { slot: 5, rule_id: 0 }
+                MatchEvent {
+                    slot: 5,
+                    rule_id: 100
+                },
+                MatchEvent {
+                    slot: 5,
+                    rule_id: 0
+                }
             ]
         );
     }
@@ -501,7 +505,13 @@ mod tests {
         // dst port 443: rule 200 requires 80, so only EoP.
         kick(&mut m, 0, 4, (1234 << 16) | 443, 1);
         let events = drain(&mut m, &pmem, 50);
-        assert_eq!(events, vec![MatchEvent { slot: 1, rule_id: 0 }]);
+        assert_eq!(
+            events,
+            vec![MatchEvent {
+                slot: 1,
+                rule_id: 0
+            }]
+        );
         // dst port 80 matches.
         kick(&mut m, 0, 4, (1234 << 16) | 80, 2);
         let events = drain(&mut m, &pmem, 50);

@@ -242,8 +242,7 @@ mod tests {
         let blacklist = synthetic_blacklist(200, 9);
         let sys = build_firewall_system(8, &blacklist).unwrap();
         let base = FixedSizeGen::new(256, 2);
-        let gen = AttackMixGen::new(base, 0.02, Vec::new(), 5)
-            .with_attack_ips(blacklist.clone());
+        let gen = AttackMixGen::new(base, 0.02, Vec::new(), 5).with_attack_ips(blacklist.clone());
         let mut h = Harness::new(sys, Box::new(gen), 40.0);
         h.run(30_000);
         h.begin_window();

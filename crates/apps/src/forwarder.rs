@@ -103,10 +103,7 @@ pub fn watchdog_forwarder_asm(interval: u32) -> String {
 /// # Errors
 ///
 /// Propagates configuration-validation errors from the builder.
-pub fn build_watchdog_forwarding_system(
-    rpus: usize,
-    interval: u32,
-) -> Result<Rosebud, String> {
+pub fn build_watchdog_forwarding_system(rpus: usize, interval: u32) -> Result<Rosebud, String> {
     let image = assemble(&watchdog_forwarder_asm(interval))
         .expect("embedded watchdog forwarder must assemble");
     Rosebud::builder(RosebudConfig::with_rpus(rpus))
@@ -173,10 +170,7 @@ pub fn duty_cycle_forwarder_asm(interval: u32) -> String {
 /// # Errors
 ///
 /// Propagates configuration-validation errors from the builder.
-pub fn build_duty_cycle_forwarding_system(
-    rpus: usize,
-    interval: u32,
-) -> Result<Rosebud, String> {
+pub fn build_duty_cycle_forwarding_system(rpus: usize, interval: u32) -> Result<Rosebud, String> {
     let image = assemble(&duty_cycle_forwarder_asm(interval))
         .expect("embedded duty-cycled forwarder must assemble");
     Rosebud::builder(RosebudConfig::with_rpus(rpus))
@@ -293,7 +287,10 @@ fn two_step_asm(first_hop: bool, partner: usize) -> String {
 ///
 /// Panics if `rpus` is not even and at least 2.
 pub fn build_two_step_system(rpus: usize) -> Result<Rosebud, String> {
-    assert!(rpus >= 2 && rpus.is_multiple_of(2), "two-step needs an even RPU count");
+    assert!(
+        rpus >= 2 && rpus.is_multiple_of(2),
+        "two-step needs an even RPU count"
+    );
     let half = rpus / 2;
     let mut sys = Rosebud::builder(RosebudConfig::with_rpus(rpus))
         .load_balancer(Box::new(RoundRobinLb::new()))

@@ -123,9 +123,8 @@ mod tests {
             let rpus = sys.rpus();
             let mirror = rpus[r].inner().bcast_mirror();
             for sender in 0..4 {
-                let word = u32::from_le_bytes(
-                    mirror[sender * 4..sender * 4 + 4].try_into().unwrap(),
-                );
+                let word =
+                    u32::from_le_bytes(mirror[sender * 4..sender * 4 + 4].try_into().unwrap());
                 assert!(word > 0, "RPU {r} mirror missing sender {sender}");
             }
         }

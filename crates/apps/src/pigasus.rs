@@ -24,10 +24,11 @@
 
 use rosebud_accel::{
     PigasusMatcher, Rule, RuleSet, PIG_CTRL_REG, PIG_DMA_ADDR_REG, PIG_DMA_LEN_REG,
-    PIG_DMA_STAT_REG, PIG_MATCH_REG, PIG_PORTS_REG, PIG_RULE_ID_REG, PIG_SLOT_REG,
-    PIG_STATE_H_REG,
+    PIG_DMA_STAT_REG, PIG_MATCH_REG, PIG_PORTS_REG, PIG_RULE_ID_REG, PIG_SLOT_REG, PIG_STATE_H_REG,
 };
-use rosebud_core::{port, Desc, Firmware, HashLb, Rosebud, RosebudConfig, RoundRobinLb, RpuIo, RpuProgram};
+use rosebud_core::{
+    port, Desc, Firmware, HashLb, Rosebud, RosebudConfig, RoundRobinLb, RpuIo, RpuProgram,
+};
 
 /// Which reassembly configuration to build (§7.1.3 compares both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -294,8 +295,7 @@ impl PigasusFirmware {
             };
             let parked = self.parked.swap_remove(pos);
             self.reordered += 1;
-            self.flow_table[idx].expect_seq =
-                parked.seq.wrapping_add(parked.payload_len.max(1));
+            self.flow_table[idx].expect_seq = parked.seq.wrapping_add(parked.payload_len.max(1));
             io.charge(cost::SW_FLOW_TABLE);
             self.kick_accel(io, parked.desc, parked.payload_off, parked.ports);
         }
@@ -474,13 +474,20 @@ mod tests {
             h.run(4);
         }
         h.run(30_000);
-        assert_eq!(h.host_received() as usize, trace.len(), "all attacks flagged");
+        assert_eq!(
+            h.host_received() as usize,
+            trace.len(),
+            "all attacks flagged"
+        );
         let collected = h.collected();
         for pkt in collected {
             assert!(pkt.len() > 256, "rule id appended to {}", pkt.id);
             let tail = &pkt.bytes()[pkt.bytes().len() - 4..];
             let id = u32::from_le_bytes(tail.try_into().unwrap());
-            assert!(rules.iter().any(|r| r.id == id), "trailing id {id} is a rule");
+            assert!(
+                rules.iter().any(|r| r.id == id),
+                "trailing id {id} is a rule"
+            );
         }
     }
 

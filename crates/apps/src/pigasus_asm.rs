@@ -160,7 +160,11 @@ pub fn pigasus_hw_image() -> Image {
 /// # Errors
 ///
 /// Propagates configuration-validation errors from the builder.
-pub fn build_pigasus_riscv_system(rules: Vec<Rule>, rpus: usize, engines: u32) -> Result<Rosebud, String> {
+pub fn build_pigasus_riscv_system(
+    rules: Vec<Rule>,
+    rpus: usize,
+    engines: u32,
+) -> Result<Rosebud, String> {
     let mut cfg = RosebudConfig::with_rpus(rpus);
     cfg.slots_per_rpu = 32;
     let compiled = RuleSet::compile(rules);
@@ -192,7 +196,11 @@ mod tests {
     #[test]
     fn assembled_firmware_forwards_safe_tcp() {
         let mut tb = bench(synthetic_rules(32, 17));
-        let pkt = PacketBuilder::new().tcp(4000, 443).pad_to(256).port(0).build();
+        let pkt = PacketBuilder::new()
+            .tcp(4000, 443)
+            .pad_to(256)
+            .port(0)
+            .build();
         let report = tb.process_one(&pkt, 3000);
         assert_eq!(report.outputs.len(), 1);
         assert_eq!(report.outputs[0].desc.port, 1, "safe TCP flips ports");

@@ -11,8 +11,8 @@
 //! two 100 G cables, exactly like the paper's testbed.
 
 use rosebud_core::{
-    memmap, Desc, Firmware, Measurement, Rosebud, RosebudConfig, RoundRobinLb, RpuIo,
-    RpuProgram, SELF_TAG,
+    memmap, Desc, Firmware, Measurement, Rosebud, RosebudConfig, RoundRobinLb, RpuIo, RpuProgram,
+    SELF_TAG,
 };
 use rosebud_net::{Packet, PacketBuilder};
 

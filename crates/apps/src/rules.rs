@@ -195,10 +195,9 @@ mod tests {
 
     #[test]
     fn parses_basic_rule() {
-        let rules = parse_rules(
-            r#"alert tcp any any -> any 80 (msg:"worm"; content:"evil"; sid:2001;)"#,
-        )
-        .unwrap();
+        let rules =
+            parse_rules(r#"alert tcp any any -> any 80 (msg:"worm"; content:"evil"; sid:2001;)"#)
+                .unwrap();
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].id, 2001);
         assert_eq!(rules[0].pattern, b"evil");
@@ -208,10 +207,8 @@ mod tests {
 
     #[test]
     fn parses_hex_content() {
-        let rules = parse_rules(
-            r#"alert udp any 53 -> any any (content:"A|0d 0a|B"; sid:7;)"#,
-        )
-        .unwrap();
+        let rules =
+            parse_rules(r#"alert udp any 53 -> any any (content:"A|0d 0a|B"; sid:7;)"#).unwrap();
         assert_eq!(rules[0].pattern, b"A\r\nB");
         assert_eq!(rules[0].src_port, Some(53));
         assert_eq!(rules[0].dst_port, None);
@@ -225,8 +222,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_hex() {
-        let e = parse_rules(r#"alert tcp any any -> any any (content:"|zz|"; sid:1;)"#)
-            .unwrap_err();
+        let e =
+            parse_rules(r#"alert tcp any any -> any any (content:"|zz|"; sid:1;)"#).unwrap_err();
         assert!(e.message.contains("hex"));
     }
 

@@ -91,9 +91,15 @@ impl CpuMatcher {
         let mut hits = 0u64;
         for pkt in trace {
             if let (Some(payload), Ok(tcp)) = (pkt.payload(), pkt.tcp()) {
-                hits += self.rules.matches(payload, tcp.src_port, tcp.dst_port).len() as u64;
+                hits += self
+                    .rules
+                    .matches(payload, tcp.src_port, tcp.dst_port)
+                    .len() as u64;
             } else if let (Some(payload), Ok(udp)) = (pkt.payload(), pkt.udp()) {
-                hits += self.rules.matches(payload, udp.src_port, udp.dst_port).len() as u64;
+                hits += self
+                    .rules
+                    .matches(payload, udp.src_port, udp.dst_port)
+                    .len() as u64;
             }
         }
         hits

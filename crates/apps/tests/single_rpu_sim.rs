@@ -16,10 +16,7 @@ fn pigasus_bench() -> RpuTestbench {
     cfg.slots_per_rpu = 32;
     let mut tb = RpuTestbench::new(cfg);
     let rules = synthetic_rules(64, 17);
-    tb.set_accelerator(Box::new(PigasusMatcher::new(
-        RuleSet::compile(rules),
-        16,
-    )));
+    tb.set_accelerator(Box::new(PigasusMatcher::new(RuleSet::compile(rules), 16)));
     tb.load_native(Box::new(PigasusFirmware::new(ReorderMode::Hardware, 32)));
     tb
 }
@@ -84,7 +81,10 @@ fn attack_packet_takes_82_cycles_and_reaches_host() {
     let mut payload = vec![b'.'; 400];
     payload[100..100 + rule.pattern.len()].copy_from_slice(&rule.pattern);
     let dst = rule.dst_port.unwrap_or(80);
-    let pkt = PacketBuilder::new().tcp(4000, dst).payload(&payload).build();
+    let pkt = PacketBuilder::new()
+        .tcp(4000, dst)
+        .payload(&payload)
+        .build();
     let cycles = steady_state_cycles(&mut tb, &pkt);
     assert!(
         (79.0..=85.0).contains(&cycles),
@@ -151,10 +151,21 @@ fn firewall_drop_path_sends_zero_length() {
     tb.set_accelerator(Box::new(FirewallMatcher::from_prefixes(&blacklist)));
     tb.load_riscv(&firewall_image());
     tb.step(100);
-    let bad = PacketBuilder::new().src_ip([9, 9, 9, 77]).tcp(1, 2).pad_to(128).build();
+    let bad = PacketBuilder::new()
+        .src_ip([9, 9, 9, 77])
+        .tcp(1, 2)
+        .pad_to(128)
+        .build();
     let report = tb.process_one(&bad, 500);
-    assert_eq!(report.outputs[0].desc.len, 0, "blacklisted packet must drop");
-    let good = PacketBuilder::new().src_ip([8, 8, 8, 8]).tcp(1, 2).pad_to(128).build();
+    assert_eq!(
+        report.outputs[0].desc.len, 0,
+        "blacklisted packet must drop"
+    );
+    let good = PacketBuilder::new()
+        .src_ip([8, 8, 8, 8])
+        .tcp(1, 2)
+        .pad_to(128)
+        .build();
     let report = tb.process_one(&good, 500);
     assert_eq!(report.outputs[0].bytes.len(), 128);
 }

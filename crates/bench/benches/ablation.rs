@@ -41,9 +41,8 @@ fn rpu_count_vs_area() {
         let total = need.plus(riscv).plus(mem).plus(mgr);
         let fits = total.luts <= block.luts && total.uram <= block.uram;
 
-        let sys =
-            build_pigasus_system_with(ReorderMode::Hardware, rules.clone(), rpus, engines)
-                .expect("valid config");
+        let sys = build_pigasus_system_with(ReorderMode::Hardware, rules.clone(), rpus, engines)
+            .expect("valid config");
         let payloads: Vec<Vec<u8>> = rules.iter().map(|r| r.pattern.clone()).collect();
         let base = FlowTrafficGen::new(4096, 512, 0.003, 23);
         let gen = AttackMixGen::new(base, 0.01, payloads, 29);
@@ -65,8 +64,13 @@ fn lb_policy() {
     heading("Ablation 2: load-balancer policy under 200 Gbps of 64 B traffic");
     println!("{:>14} | {:>9} | {:>14}", "policy", "Mpps", "LB stall cyc");
     let policies: Vec<(&str, LbFactory)> = vec![
-        ("round-robin", || Box::new(rosebud_core::RoundRobinLb::new())),
-        ("least-loaded", || Box::new(rosebud_core::LeastLoadedLb::new())),
+        (
+            "round-robin",
+            || Box::new(rosebud_core::RoundRobinLb::new()),
+        ),
+        ("least-loaded", || {
+            Box::new(rosebud_core::LeastLoadedLb::new())
+        }),
         ("hash", || Box::new(rosebud_core::HashLb::new())),
     ];
     for (name, make) in policies {

@@ -38,7 +38,11 @@ fn main() {
         b2b.begin_window();
         b2b.run(120_000);
         let tm = b2b.measure();
-        println!("{size:>6} | {:>12.1} | {}", hm.gbps, versus(tm.gbps, hm.gbps));
+        println!(
+            "{size:>6} | {:>12.1} | {}",
+            hm.gbps,
+            versus(tm.gbps, hm.gbps)
+        );
     }
     println!();
     println!("note: at 64 B both paths sit at the 250 Mpps firmware cap — the");

@@ -62,7 +62,13 @@ fn latency_point() -> Latency {
     // Light load so queueing does not dominate: the paper's RTT experiment
     // (§6.2) measures the pipeline, not a saturated FIFO.
     let sys = build_forwarding_system(16).expect("valid config");
-    let (_, mut h) = measure(sys, Box::new(FixedSizeGen::new(512, 2)), 20.0, 20_000, 30_000);
+    let (_, mut h) = measure(
+        sys,
+        Box::new(FixedSizeGen::new(512, 2)),
+        20.0,
+        20_000,
+        30_000,
+    );
     Latency {
         p50_ns: h.latency().percentile(50.0),
         p99_ns: h.latency().percentile(99.0),

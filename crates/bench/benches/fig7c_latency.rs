@@ -21,7 +21,11 @@ fn eq1_us(size: usize) -> f64 {
 fn run_point(size: usize, offered_gbps: f64) -> f64 {
     let sys = build_forwarding_system(16).expect("valid config");
     let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(size, 2)), offered_gbps);
-    h.run(if offered_gbps > 100.0 { 300_000 } else { 40_000 });
+    h.run(if offered_gbps > 100.0 {
+        300_000
+    } else {
+        40_000
+    });
     h.begin_window();
     h.run(120_000);
     h.latency().mean() / 1000.0

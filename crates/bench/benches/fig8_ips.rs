@@ -62,10 +62,7 @@ fn main() {
     }
 
     heading("Fig. 8b: IPS packet rate (Mpps)");
-    println!(
-        "{:>6} | {:>9} | {:>9} | {:>9}",
-        "size", "HW", "SW", "Snort"
-    );
+    println!("{:>6} | {:>9} | {:>9} | {:>9}", "size", "HW", "SW", "Snort");
     for (size, hw, sw) in rates {
         println!(
             "{size:>6} | {hw:>9.1} | {sw:>9.1} | {:>9.1}",

@@ -9,9 +9,7 @@
 
 use rosebud_apps::forwarder::build_watchdog_forwarding_system;
 use rosebud_bench::{heading, versus};
-use rosebud_core::{
-    FaultKind, FaultPlan, Harness, PrTimingModel, Supervisor, SupervisorConfig,
-};
+use rosebud_core::{FaultKind, FaultPlan, Harness, PrTimingModel, Supervisor, SupervisorConfig};
 use rosebud_net::FixedSizeGen;
 
 const RPUS: usize = 8;

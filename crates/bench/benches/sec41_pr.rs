@@ -48,7 +48,9 @@ fn live_reconfiguration_under_traffic() {
     );
     println!(
         "PR completed after   : {:>6} cycles of simulated drain+write+boot",
-        done_at.map(|c| c.to_string()).unwrap_or_else(|| "not finished".into())
+        done_at
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "not finished".into())
     );
     println!(
         "RPU 5 re-enabled     : {}",

@@ -21,15 +21,18 @@ fn main() {
     for &size in &[64usize, 128, 256, 512, 800, 1024, 1500] {
         let sys = build_firewall_system(16, &blacklist).expect("valid config");
         let base = FixedSizeGen::new(size, 2);
-        let gen = AttackMixGen::new(base, 0.02, Vec::new(), 5)
-            .with_attack_ips(blacklist.clone());
+        let gen = AttackMixGen::new(base, 0.02, Vec::new(), 5).with_attack_ips(blacklist.clone());
         let (m, h) = measure(sys, Box::new(gen), 205.0, 60_000, 150_000);
         let line = effective_line_rate_gbps(200.0, size as u64);
         // Paper: line rate from 256 B; firmware-bound below. Dropped attack
         // bytes count as processed (they were absorbed and checked), so add
         // them into the absorbed figure the paper's RX-bytes reading shows.
         let absorbed_gbps = m.gbps / (1.0 - 0.02);
-        let paper = if size >= 256 { line } else { line.min(133.0 * size as f64 * 8.0 / 1e3) };
+        let paper = if size >= 256 {
+            line
+        } else {
+            line.min(133.0 * size as f64 * 8.0 / 1e3)
+        };
         println!(
             "{size:>6} | {:>9.1} | {} | {:>10}",
             m.mpps,

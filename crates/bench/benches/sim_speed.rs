@@ -9,8 +9,8 @@
 //! exits non-zero if the parallel kernel is slower than sequential at
 //! 16 RPUs on the duty-cycled scenario.
 
-use rosebud_bench::sim_speed::{compare, Scenario};
 use rosebud_bench::heading;
+use rosebud_bench::sim_speed::{compare, Scenario};
 
 fn main() {
     let scenarios = [

@@ -13,9 +13,7 @@ use rosebud_net::TrafficGen;
 
 /// Packet sizes of the forwarding sweep (§6.1): powers of two 64–8192 plus
 /// the 65-byte worst case and the 1500/9000 MTU points.
-pub const FORWARDING_SIZES: &[usize] = &[
-    64, 65, 128, 256, 512, 1024, 1500, 2048, 4096, 8192, 9000,
-];
+pub const FORWARDING_SIZES: &[usize] = &[64, 65, 128, 256, 512, 1024, 1500, 2048, 4096, 8192, 9000];
 
 /// Packet sizes of the IPS comparison (Fig. 8).
 pub const IPS_SIZES: &[usize] = &[64, 128, 256, 512, 800, 1024, 1500, 2048];
@@ -180,7 +178,10 @@ pub mod sim_speed {
         let mut par = build(
             scenario,
             rpus,
-            KernelMode::Parallel { workers: 0, quantum: 1024 },
+            KernelMode::Parallel {
+                workers: 0,
+                quantum: 1024,
+            },
         );
         (
             ns_per_cycle(&mut seq, 10_000, 150_000, 5),

@@ -135,7 +135,9 @@ impl RosebudConfig {
             return Err("port count must be 1–8".into());
         }
         if self.slots_per_rpu == 0 || self.slots_per_rpu > 32 {
-            return Err("slots per RPU must be 1–32 (descriptor tag is 5 bits + context array)".into());
+            return Err(
+                "slots per RPU must be 1–32 (descriptor tag is 5 bits + context array)".into(),
+            );
         }
         let needed = self.slots_per_rpu as u32 * self.slot_bytes;
         if needed > self.pmem_bytes {
@@ -171,8 +173,7 @@ mod tests {
         assert_eq!(cfg.num_clusters(), 4);
         assert!(cfg.validate().is_ok());
         // RPU link: 16 B/cycle × 8 × 250 MHz = 32 Gbps (the narrow switches).
-        let rpu_gbps =
-            cfg.rpu_link_bytes_per_cycle as f64 * 8.0 * cfg.clock_hz as f64 / 1e9;
+        let rpu_gbps = cfg.rpu_link_bytes_per_cycle as f64 * 8.0 * cfg.clock_hz as f64 / 1e9;
         assert_eq!(rpu_gbps, 32.0);
     }
 

@@ -9,6 +9,7 @@ use crate::fault::Ledger;
 use crate::rpu::PerfCounters;
 use crate::supervisor::RecoveryEvent;
 use crate::system::Rosebud;
+use crate::verify::LintRecord;
 
 /// How an RPU is misbehaving (§3.4 distinguishes cores that *halted* — trap,
 /// `ebreak` — from cores that *hung* — wedged firmware the watchdog timer
@@ -85,6 +86,9 @@ pub struct Diagnostics {
     pub ledger: Ledger,
     /// Completed fault recoveries, oldest first.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Firmware lint reports recorded by the load path, oldest first
+    /// (empty under [`crate::LoadPolicy::Off`]).
+    pub lint: Vec<LintRecord>,
     /// The verdict.
     pub bottleneck: Bottleneck,
 }
@@ -95,7 +99,11 @@ impl Diagnostics {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "LB: {} assigned, {} stall cycles", self.lb_assigned, self.lb_stall_cycles);
+        let _ = writeln!(
+            out,
+            "LB: {} assigned, {} stall cycles",
+            self.lb_assigned, self.lb_stall_cycles
+        );
         for (p, (c, fifo)) in self.ports.iter().zip(&self.rx_fifo_bytes).enumerate() {
             let _ = writeln!(
                 out,
@@ -138,6 +146,17 @@ impl Diagnostics {
                 },
             );
         }
+        for rec in &self.lint {
+            let _ = writeln!(
+                out,
+                "lint: RPU {} @{}: {} error(s), {} warning(s){}",
+                rec.rpu,
+                rec.cycle,
+                rec.report.error_count(),
+                rec.report.warning_count(),
+                if rec.denied { " — load DENIED" } else { "" },
+            );
+        }
         let _ = writeln!(
             out,
             "ledger: {} in / {} originated / {} out / {} dropped / {} \
@@ -157,14 +176,21 @@ impl Diagnostics {
 impl Rosebud {
     /// Takes a diagnostic snapshot and classifies the dominant bottleneck.
     pub fn diagnostics(&self) -> Diagnostics {
-        let ports: Vec<Counters> = (0..self.cfg.num_ports).map(|p| self.port_counters(p)).collect();
-        let rx_fifo_bytes: Vec<u64> = (0..self.cfg.num_ports).map(|p| self.rx_fifo_bytes(p)).collect();
-        let rpus: Vec<Counters> = (0..self.cfg.num_rpus).map(|r| self.rpu_counters(r)).collect();
+        let ports: Vec<Counters> = (0..self.cfg.num_ports)
+            .map(|p| self.port_counters(p))
+            .collect();
+        let rx_fifo_bytes: Vec<u64> = (0..self.cfg.num_ports)
+            .map(|p| self.rx_fifo_bytes(p))
+            .collect();
+        let rpus: Vec<Counters> = (0..self.cfg.num_rpus)
+            .map(|r| self.rpu_counters(r))
+            .collect();
         let free_slots: Vec<usize> = (0..self.cfg.num_rpus)
             .map(|r| self.tracker().free_count(r))
             .collect();
-        let perf: Vec<PerfCounters> =
-            (0..self.cfg.num_rpus).map(|r| self.rpus()[r].perf()).collect();
+        let perf: Vec<PerfCounters> = (0..self.cfg.num_rpus)
+            .map(|r| self.rpus()[r].perf())
+            .collect();
 
         let bottleneck = self.classify(&ports, &rx_fifo_bytes, &rpus, &free_slots);
         Diagnostics {
@@ -177,6 +203,7 @@ impl Rosebud {
             lb_assigned: self.lb_assigned(),
             ledger: self.ledger(),
             recoveries: self.recovery_log().to_vec(),
+            lint: self.lint_log().to_vec(),
             bottleneck,
         }
     }
@@ -219,11 +246,7 @@ impl Rosebud {
             }
         }
         // Full ingress FIFO: something downstream cannot keep up.
-        if let Some((port, &bytes)) = rx_fifo_bytes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &b)| b)
-        {
+        if let Some((port, &bytes)) = rx_fifo_bytes.iter().enumerate().max_by_key(|(_, &b)| b) {
             if bytes * 2 >= self.cfg.mac_rx_fifo_bytes {
                 // Distinguish imbalance from global starvation by slot
                 // distribution: starvation empties every RPU's free pool;
@@ -267,7 +290,10 @@ mod tests {
         fn tick(&mut self, io: &mut RpuIo<'_>) {
             if let Some(desc) = io.rx_pop() {
                 io.charge(self.cycles);
-                io.send(Desc { port: desc.port ^ 1, ..desc });
+                io.send(Desc {
+                    port: desc.port ^ 1,
+                    ..desc
+                });
             }
         }
     }
@@ -315,7 +341,7 @@ mod tests {
         // Simulate a crash: halt RPU 2 via a firmware fault stand-in — load
         // an image that faults immediately.
         let bad = rosebud_riscv::assemble(".word 0xffffffff").unwrap();
-        h.sys.load_rpu_firmware(2, &bad);
+        h.sys.load_rpu_firmware(2, &bad).unwrap();
         h.run(5_000);
         let diag = h.sys.diagnostics();
         assert_eq!(
@@ -334,11 +360,9 @@ mod tests {
         let sys = system(4, 10, Box::new(crate::RoundRobinLb::new()));
         let mut h = Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 10.0);
         h.run(5_000);
-        h.sys
-            .install_fault_plan(crate::FaultPlan::new(1).at(
-                h.sys.now() + 1,
-                crate::FaultKind::FirmwareHang { rpu: 1 },
-            ));
+        h.sys.install_fault_plan(
+            crate::FaultPlan::new(1).at(h.sys.now() + 1, crate::FaultKind::FirmwareHang { rpu: 1 }),
+        );
         h.run(5_000);
         let diag = h.sys.diagnostics();
         assert_eq!(

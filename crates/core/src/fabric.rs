@@ -157,7 +157,8 @@ impl Loopback {
             let wire_len = item.bytes.len() as u64 + rosebud_net::WIRE_OVERHEAD_BYTES;
             self.counters.count_tx_frame(item.bytes.len() as u64);
             self.wire
-                .push(item, wire_len, now).expect("wire fullness checked above");
+                .push(item, wire_len, now)
+                .expect("wire fullness checked above");
             self.next_grant = now + self.header_cycles;
         }
     }
@@ -213,7 +214,12 @@ mod tests {
         let mut lb = Loopback::new(&cfg);
         let item = || EgressItem {
             src_rpu: 0,
-            desc: crate::types::Desc { tag: 0, len: 64, port: 4, data: 0 },
+            desc: crate::types::Desc {
+                tag: 0,
+                len: 64,
+                port: 4,
+                data: 0,
+            },
             bytes: vec![0; 64],
             meta: None,
         };

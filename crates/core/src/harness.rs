@@ -175,7 +175,11 @@ impl Harness {
 
     /// Results since [`begin_window`](Self::begin_window).
     pub fn measure(&self) -> Measurement {
-        let cycles = self.sys.now().saturating_sub(self.window_start_cycle).max(1);
+        let cycles = self
+            .sys
+            .now()
+            .saturating_sub(self.window_start_cycle)
+            .max(1);
         let secs = cycles as f64 * self.sys.config().ns_per_cycle() / 1e9;
         Measurement {
             gbps: self.window_received_bytes as f64 * 8.0 / secs / 1e9,

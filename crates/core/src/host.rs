@@ -88,7 +88,13 @@ impl Rosebud {
 
     /// Reads `len` bytes from an RPU memory region — the host debug path
     /// that can "dump the entire RPU shared memory" (§3.4).
-    pub fn read_rpu_mem(&self, rpu: usize, region: MemRegion, offset: usize, len: usize) -> Vec<u8> {
+    pub fn read_rpu_mem(
+        &self,
+        rpu: usize,
+        region: MemRegion,
+        offset: usize,
+        len: usize,
+    ) -> Vec<u8> {
         let inner = self.lanes[rpu].rpu.inner();
         let mem: &[u8] = match region {
             MemRegion::Imem => return self.read_imem(rpu, offset, len),
@@ -266,10 +272,18 @@ impl Rosebud {
     }
 
     /// Loads a new assembled firmware into a *stopped* RPU and boots it —
-    /// the plain (non-PR) load path of A.6.
-    pub fn load_rpu_firmware(&mut self, rpu: usize, image: &Image) {
+    /// the plain (non-PR) load path of A.6. Under [`crate::LoadPolicy::Deny`]
+    /// an image whose lint report contains errors is refused and the RPU is
+    /// left untouched.
+    pub fn load_rpu_firmware(&mut self, rpu: usize, image: &Image) -> Result<(), String> {
+        if !self.vet_firmware(rpu, image) {
+            return Err(format!(
+                "firmware for RPU {rpu} rejected by LoadPolicy::Deny"
+            ));
+        }
         self.lanes[rpu].rpu.load_riscv(image);
         self.wake_lane(rpu);
+        Ok(())
     }
 }
 

@@ -395,13 +395,21 @@ mod tests {
     fn lb_resources_match_tables_1_and_2() {
         let rr = RoundRobinLb::new();
         let r16 = rr.resources(16);
-        assert!((r16.luts as i64 - 8221).abs() < 20, "16-RPU LUTs {}", r16.luts);
+        assert!(
+            (r16.luts as i64 - 8221).abs() < 20,
+            "16-RPU LUTs {}",
+            r16.luts
+        );
         assert!((r16.regs as i64 - 22503).abs() < 20);
         let r8 = rr.resources(8);
         assert!((r8.luts as i64 - 7580).abs() < 20, "8-RPU LUTs {}", r8.luts);
         assert!((r8.regs as i64 - 22076).abs() < 20);
         let hash = HashLb::new().resources(8);
-        assert!((hash.luts as i64 - 10467).abs() < 700, "hash LUTs {}", hash.luts);
+        assert!(
+            (hash.luts as i64 - 10467).abs() < 700,
+            "hash LUTs {}",
+            hash.luts
+        );
         assert_eq!(hash.bram, 26);
     }
 }

@@ -62,6 +62,7 @@ mod system;
 mod testbench;
 mod trace;
 mod types;
+mod verify;
 
 pub use config::RosebudConfig;
 pub use diag::{Bottleneck, Diagnostics, RpuFaultKind};
@@ -70,10 +71,11 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, Ledger};
 pub use harness::{Harness, Measurement};
 pub use host::{lb_regs, pr_reload_model, MemRegion, PrTimingModel};
 pub use lb::{HashLb, LeastLoadedLb, LoadBalancer, RoundRobinLb, SlotTracker};
-pub use rpu::{Firmware, PerfCounters, Rpu, RpuInner, RpuIo, RpuState};
 pub use rosebud_kernel::KernelMode;
+pub use rpu::{Firmware, PerfCounters, Rpu, RpuInner, RpuIo, RpuState};
 pub use supervisor::{RecoveryEvent, Supervisor, SupervisorConfig};
 pub use system::{AccelFactory, FirmwareFactory, Rosebud, RosebudBuilder, RpuProgram, Rpus};
 pub use testbench::{PacketReport, RpuTestbench, TxRecord};
 pub use trace::{SupervisorStep, TraceConfig, TraceEvent, Tracer};
 pub use types::{irq, memmap, port, BcastMsg, Desc, HostDmaReq, SlotMeta, SELF_TAG};
+pub use verify::{machine_spec, LintRecord, LoadPolicy, STACK_BYTES};

@@ -245,10 +245,26 @@ mod tests {
         let lb = crate::lb::RoundRobinLb::new();
         use crate::lb::LoadBalancer;
         let complete = r.complete(lb.resources(16));
-        assert!(close(complete.luts, 259713, 700), "complete LUTs {}", complete.luts);
-        assert!(close(complete.regs, 332636, 800), "complete regs {}", complete.regs);
-        assert!(close(complete.bram, 542, 8), "complete BRAM {}", complete.bram);
-        assert!(close(complete.uram, 626, 8), "complete URAM {}", complete.uram);
+        assert!(
+            close(complete.luts, 259713, 700),
+            "complete LUTs {}",
+            complete.luts
+        );
+        assert!(
+            close(complete.regs, 332636, 800),
+            "complete regs {}",
+            complete.regs
+        );
+        assert!(
+            close(complete.bram, 542, 8),
+            "complete BRAM {}",
+            complete.bram
+        );
+        assert!(
+            close(complete.uram, 626, 8),
+            "complete URAM {}",
+            complete.uram
+        );
     }
 
     #[test]
@@ -261,7 +277,11 @@ mod tests {
         assert_eq!(sw.uram, 32);
         use crate::lb::LoadBalancer;
         let complete = r.complete(crate::lb::RoundRobinLb::new().resources(8));
-        assert!(close(complete.luts, 164699, 700), "complete LUTs {}", complete.luts);
+        assert!(
+            close(complete.luts, 164699, 700),
+            "complete LUTs {}",
+            complete.luts
+        );
         assert!(close(complete.bram, 338, 8));
         assert!(close(complete.uram, 338, 8));
     }

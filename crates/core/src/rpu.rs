@@ -290,16 +290,15 @@ impl RpuInner {
             io::DMA_HOST_ADDR => self.dma_host_addr = value,
             io::DMA_LOCAL_ADDR => self.dma_local_addr = value,
             io::DMA_LEN => self.dma_len = value,
-            io::DMA_CTRL
-                if (value == 1 || value == 2) => {
-                    self.dma_pending = Some(crate::types::HostDmaReq {
-                        host_addr: self.dma_host_addr,
-                        local_addr: self.dma_local_addr,
-                        len: self.dma_len,
-                        to_host: value == 1,
-                    });
-                    self.dma_busy = true;
-                }
+            io::DMA_CTRL if (value == 1 || value == 2) => {
+                self.dma_pending = Some(crate::types::HostDmaReq {
+                    host_addr: self.dma_host_addr,
+                    local_addr: self.dma_local_addr,
+                    len: self.dma_len,
+                    to_host: value == 1,
+                });
+                self.dma_busy = true;
+            }
             _ => {}
         }
     }
@@ -515,9 +514,9 @@ impl RpuInner {
             Ok(u32::from_le_bytes(bytes))
         };
         match addr {
-            a if (memmap::BCAST_BASE..memmap::BCAST_BASE + memmap::BCAST_BYTES).contains(&a) => {
-                Ok(BusValue::fast(read_from(&self.bcast_mirror, a - memmap::BCAST_BASE)?))
-            }
+            a if (memmap::BCAST_BASE..memmap::BCAST_BASE + memmap::BCAST_BYTES).contains(&a) => Ok(
+                BusValue::fast(read_from(&self.bcast_mirror, a - memmap::BCAST_BASE)?),
+            ),
             a if a >= memmap::IO_EXT_BASE => {
                 let r = match &mut self.accel {
                     Some(accel) => accel.read_reg(a - memmap::IO_EXT_BASE),
@@ -533,9 +532,10 @@ impl RpuInner {
                 value: read_from(&self.pmem, a - memmap::PMEM_BASE)?,
                 wait_cycles: PMEM_WAIT_CYCLES,
             }),
-            a if a >= memmap::DMEM_BASE => {
-                Ok(BusValue::fast(read_from(&self.dmem, a - memmap::DMEM_BASE)?))
-            }
+            a if a >= memmap::DMEM_BASE => Ok(BusValue::fast(read_from(
+                &self.dmem,
+                a - memmap::DMEM_BASE,
+            )?)),
             a => Ok(BusValue::fast(read_from(&self.imem, a)?)),
         }
     }
@@ -1291,7 +1291,8 @@ mod tests {
                 sw a1, 0x10(t0)          # SEND_DESC_LO
                 sw a2, 0x14(t0)          # SEND_DESC_DATA (commit)
                 j poll
-            ".to_string()
+            "
+        .to_string()
     }
 
     #[test]
@@ -1354,7 +1355,10 @@ mod tests {
             fn tick(&mut self, io: &mut RpuIo<'_>) {
                 if let Some(desc) = io.rx_pop() {
                     self.handled += 1;
-                    io.send(Desc { port: desc.port ^ 1, ..desc });
+                    io.send(Desc {
+                        port: desc.port ^ 1,
+                        ..desc
+                    });
                     io.charge(15); // 1 (this tick) + 15 = 16 cycles/packet
                 }
             }
@@ -1433,7 +1437,10 @@ mod tests {
         impl Firmware for Echo {
             fn tick(&mut self, io: &mut RpuIo<'_>) {
                 if let Some(desc) = io.rx_pop() {
-                    io.send(Desc { port: port::HOST, ..desc });
+                    io.send(Desc {
+                        port: port::HOST,
+                        ..desc
+                    });
                 }
             }
         }
@@ -1447,7 +1454,10 @@ mod tests {
         let _ = rpu.inner_mut().take_tx();
         assert!(rpu.is_drained());
         rpu.begin_reconfigure(100);
-        assert!(matches!(rpu.state(), RpuState::Reconfiguring { until: 100 }));
+        assert!(matches!(
+            rpu.state(),
+            RpuState::Reconfiguring { until: 100 }
+        ));
         rpu.tick(50); // inert
         rpu.load_native(Box::new(Echo));
         assert_eq!(rpu.state(), RpuState::Running);

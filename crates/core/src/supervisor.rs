@@ -270,9 +270,8 @@ impl Supervisor {
             }
             Rung::Rebooting { sw0 } => {
                 let rpu = &sys.rpus()[r];
-                let verified = rpu.state() == RpuState::Running
-                    && !rpu.is_halted()
-                    && rpu.sw_cycles() > sw0;
+                let verified =
+                    rpu.state() == RpuState::Running && !rpu.is_halted() && rpu.sw_cycles() > sw0;
                 if verified {
                     // Rung 5: the region demonstrably rebooted — only now
                     // does it get traffic again.
@@ -382,9 +381,7 @@ impl Supervisor {
 mod tests {
     use super::*;
     use crate::system::RpuProgram;
-    use crate::{
-        Desc, FaultKind, FaultPlan, Firmware, Harness, RosebudConfig, RpuIo,
-    };
+    use crate::{Desc, FaultKind, FaultPlan, Firmware, Harness, RosebudConfig, RpuIo};
     use rosebud_net::FixedSizeGen;
 
     struct PacedForwarder;
@@ -392,7 +389,10 @@ mod tests {
         fn tick(&mut self, io: &mut RpuIo<'_>) {
             if let Some(desc) = io.rx_pop() {
                 io.charge(15);
-                io.send(Desc { port: desc.port ^ 1, ..desc });
+                io.send(Desc {
+                    port: desc.port ^ 1,
+                    ..desc
+                });
             }
         }
     }
@@ -408,9 +408,8 @@ mod tests {
     #[test]
     fn crash_is_detected_and_region_recycled() {
         let mut h = harness(4);
-        h.sys.install_fault_plan(
-            FaultPlan::new(3).at(10_000, FaultKind::FirmwareCrash { rpu: 2 }),
-        );
+        h.sys
+            .install_fault_plan(FaultPlan::new(3).at(10_000, FaultKind::FirmwareCrash { rpu: 2 }));
         let mut sup = Supervisor::new(&h.sys);
         for _ in 0..200_000 {
             h.tick();

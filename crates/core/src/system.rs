@@ -18,6 +18,7 @@ use crate::rpu::{Firmware, Rpu};
 use crate::supervisor::RecoveryEvent;
 use crate::trace::{SupervisorStep, TraceConfig, TraceEvent, Tracer};
 use crate::types::{irq, port, HostDmaReq, SlotMeta, SELF_TAG};
+use crate::verify::{machine_spec, LintRecord, LoadPolicy};
 
 /// How often [`Rosebud::tick`] re-asserts the packet-conservation ledger.
 const LEDGER_CHECK_INTERVAL: Cycle = 1024;
@@ -68,6 +69,7 @@ pub struct RosebudBuilder {
     firmware: Option<FirmwareFactory>,
     accel: Option<AccelFactory>,
     kernel: Option<KernelMode>,
+    load_policy: LoadPolicy,
 }
 
 impl RosebudBuilder {
@@ -103,6 +105,14 @@ impl RosebudBuilder {
         self
     }
 
+    /// Selects the static-lint policy applied to every RISC-V firmware
+    /// load: at boot, on host loads, and on partial-reconfiguration
+    /// reloads. Defaults to [`LoadPolicy::Off`].
+    pub fn load_policy(mut self, policy: LoadPolicy) -> Self {
+        self.load_policy = policy;
+        self
+    }
+
     /// Constructs the system, loads accelerators and firmware into every
     /// RPU, and boots them.
     ///
@@ -125,12 +135,32 @@ impl RosebudBuilder {
                 })
             })
             .collect();
+        let mut lint_log: Vec<LintRecord> = Vec::new();
         for (i, lane) in lanes.iter_mut().enumerate() {
             if let Some(accel) = &self.accel {
                 lane.rpu.set_accelerator(accel(i));
             }
             match firmware(i) {
-                RpuProgram::Riscv(image) => lane.rpu.load_riscv(&image),
+                RpuProgram::Riscv(image) => {
+                    if self.load_policy != LoadPolicy::Off {
+                        let report = rosebud_riscv::Analyzer::new(machine_spec(&cfg)).check(&image);
+                        let denied = self.load_policy == LoadPolicy::Deny && report.has_errors();
+                        let errors = report.error_count();
+                        lint_log.push(LintRecord {
+                            rpu: i,
+                            cycle: 0,
+                            denied,
+                            report,
+                        });
+                        if denied {
+                            return Err(format!(
+                                "firmware for RPU {i} rejected by LoadPolicy::Deny: \
+                                 {errors} lint error(s)"
+                            ));
+                        }
+                    }
+                    lane.rpu.load_riscv(&image);
+                }
                 RpuProgram::Native(fw) => lane.rpu.load_native(fw),
             }
         }
@@ -181,6 +211,8 @@ impl RosebudBuilder {
             fault: None,
             ledger: Ledger::default(),
             recovery_log: Vec::new(),
+            load_policy: self.load_policy,
+            lint_log,
             tracer: None,
             cfg,
         })
@@ -258,6 +290,10 @@ pub struct Rosebud {
     /// Completed recovery records, written by the supervisor over the host
     /// interface.
     pub(crate) recovery_log: Vec<RecoveryEvent>,
+    /// Static-lint policy applied to every RISC-V firmware load.
+    pub(crate) load_policy: LoadPolicy,
+    /// Every lint report produced by the load path, oldest first.
+    pub(crate) lint_log: Vec<LintRecord>,
     /// The cycle-stamped event recorder, when tracing is enabled (§4.3).
     pub(crate) tracer: Option<Tracer>,
 }
@@ -339,7 +375,37 @@ impl Rosebud {
             firmware: None,
             accel: None,
             kernel: None,
+            load_policy: LoadPolicy::default(),
         }
+    }
+
+    /// The static-lint policy applied to firmware loads.
+    pub fn load_policy(&self) -> LoadPolicy {
+        self.load_policy
+    }
+
+    /// Every lint report the load path has produced, oldest first.
+    pub fn lint_log(&self) -> &[LintRecord] {
+        &self.lint_log
+    }
+
+    /// Runs the analyzer over `image` per the load policy, recording the
+    /// report. Returns `false` when [`LoadPolicy::Deny`] must block the
+    /// install.
+    pub(crate) fn vet_firmware(&mut self, rpu: usize, image: &Image) -> bool {
+        if self.load_policy == LoadPolicy::Off {
+            return true;
+        }
+        let report = rosebud_riscv::Analyzer::new(machine_spec(&self.cfg)).check(image);
+        let denied = self.load_policy == LoadPolicy::Deny && report.has_errors();
+        let cycle = self.clock.cycle();
+        self.lint_log.push(LintRecord {
+            rpu,
+            cycle,
+            denied,
+            report,
+        });
+        !denied
     }
 
     /// The kernel advancing this system.
@@ -425,10 +491,13 @@ impl Rosebud {
         }
         let wire = pkt.wire_len();
         self.ports[p].counters.count_rx_frame(pkt.len());
-        let res = self.ports[p].rx_mac.push(pkt, wire, now).inspect_err(|pkt| {
-            self.ports[p].counters.rx_frames -= 1;
-            self.ports[p].counters.rx_bytes -= pkt.len();
-        });
+        let res = self.ports[p]
+            .rx_mac
+            .push(pkt, wire, now)
+            .inspect_err(|pkt| {
+                self.ports[p].counters.rx_frames -= 1;
+                self.ports[p].counters.rx_bytes -= pkt.len();
+            });
         if res.is_ok() {
             self.ledger.injected += 1;
         }
@@ -563,8 +632,7 @@ impl Rosebud {
                     if let Some(front_len) = p.rx_mac.front().map(Packet::len) {
                         if p.rx_fifo.has_room(front_len) {
                             let pkt = p.rx_mac.pop_ready(now).expect("head ready");
-                            p.rx_fifo
-                                .push(pkt).expect("room checked above");
+                            p.rx_fifo.push(pkt).expect("room checked above");
                         }
                     }
                 }
@@ -593,7 +661,8 @@ impl Rosebud {
             let rpu = item.rpu;
             self.lanes[rpu]
                 .rin
-                .push(item, len, now).expect("fullness checked above");
+                .push(item, len, now)
+                .expect("fullness checked above");
             self.wake_lane(rpu);
         }
     }
@@ -689,7 +758,8 @@ impl Rosebud {
                         },
                         len,
                         now,
-                    ).expect("fullness checked above");
+                    )
+                    .expect("fullness checked above");
             }
         }
     }
@@ -835,12 +905,11 @@ impl Rosebud {
 
         // 8. Physical-port egress pipelines → wire.
         for p in &mut self.ports {
-            if p.tx_delay.peek_ready(now).is_some()
-                && !p.tx_mac.is_full() {
-                    let pkt = p.tx_delay.pop_ready(now).expect("peeked ready");
-                    let wire = pkt.wire_len();
-                    p.tx_mac.push(pkt, wire, now).expect("fullness checked");
-                }
+            if p.tx_delay.peek_ready(now).is_some() && !p.tx_mac.is_full() {
+                let pkt = p.tx_delay.pop_ready(now).expect("peeked ready");
+                let wire = pkt.wire_len();
+                p.tx_mac.push(pkt, wire, now).expect("fullness checked");
+            }
             if let Some(pkt) = p.tx_mac.pop_ready(now) {
                 p.counters.count_tx_frame(pkt.len());
                 p.output.push(pkt);
@@ -1165,7 +1234,8 @@ impl Rosebud {
                 },
                 len,
                 now,
-            ).expect("fullness checked above");
+            )
+            .expect("fullness checked above");
         self.wake_lane(dst);
     }
 
@@ -1204,11 +1274,22 @@ impl Rosebud {
         } else if let Some(factory) = &self.accel_factory {
             self.lanes[r].rpu.set_accelerator(factory(r));
         }
-        let program = job.program.or_else(|| {
-            self.firmware_factory.as_ref().map(|f| f(r))
-        });
+        let program = job
+            .program
+            .or_else(|| self.firmware_factory.as_ref().map(|f| f(r)));
         match program {
-            Some(RpuProgram::Riscv(image)) => self.lanes[r].rpu.load_riscv(&image),
+            Some(RpuProgram::Riscv(image)) => {
+                if !self.vet_firmware(r, &image) {
+                    // Denied: the bitstream write completed, but the host
+                    // never finishes the boot. The region stays inert in
+                    // `Reconfiguring` and its LB enable bit stays clear, so
+                    // the supervisor sees a region that never came back
+                    // instead of reinstalling a known-bad image.
+                    self.tracker.flush(r);
+                    return;
+                }
+                self.lanes[r].rpu.load_riscv(&image);
+            }
             Some(RpuProgram::Native(fw)) => self.lanes[r].rpu.load_native(fw),
             None => {}
         }
@@ -1235,11 +1316,7 @@ impl Rosebud {
             .iter()
             .map(|p| p.rx_mac.len() + p.rx_fifo.len() + p.tx_delay.len() + p.tx_mac.len())
             .sum();
-        let links: usize = self
-            .lanes
-            .iter()
-            .map(|l| l.rin.len() + l.rout.len())
-            .sum();
+        let links: usize = self.lanes.iter().map(|l| l.rin.len() + l.rout.len()).sum();
         let rpu_slots: usize = (0..self.lanes.len())
             .map(|r| self.cfg.slots_per_rpu - self.tracker.free_count(r))
             .sum();
@@ -1303,8 +1380,7 @@ impl Rosebud {
         let slots: usize = (0..self.lanes.len())
             .map(|r| self.cfg.slots_per_rpu - self.tracker.free_count(r))
             .sum();
-        (mac
-            + slots
+        (mac + slots
             + self.host_tx.len()
             + self.host_rx_delay.len()
             + self.loopback.queue.len()

@@ -239,7 +239,7 @@ mod tests {
         let mut tb = RpuTestbench::new(RosebudConfig::with_rpus(4));
         tb.load_riscv(&image);
         tb.step(100); // boot + settle into the poll loop
-        // Back-to-back packets: steady state is 16 cycles each.
+                      // Back-to-back packets: steady state is 16 cycles each.
         let pkt = PacketBuilder::new().tcp(1, 2).pad_to(64).build();
         for _ in 0..8 {
             tb.deliver(&pkt).unwrap();

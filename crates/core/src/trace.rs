@@ -550,8 +550,7 @@ impl Tracer {
                     "{{\"ph\":\"C\",\"pid\":1,\"tid\":{rpu},\"ts\":{t:.4},\
                      \"name\":\"rpu{rpu}.perf\",\"args\":{{\"stall\":{},\
                      \"memwait\":{},\"instret\":{},\"bp\":{}}}}}",
-                    perf.stall_cycles, perf.mem_wait_cycles, perf.instret,
-                    perf.backpressure_stalls,
+                    perf.stall_cycles, perf.mem_wait_cycles, perf.instret, perf.backpressure_stalls,
                 ),
             };
             entries.push(line);

@@ -200,9 +200,24 @@ mod tests {
     #[test]
     fn desc_pack_round_trip() {
         for desc in [
-            Desc { tag: 0, len: 0, port: 0, data: 0 },
-            Desc { tag: 31, len: 9000, port: 2, data: 0x01ff_ffff },
-            Desc { tag: 255, len: 65535, port: port::LOOPBACK_BASE + 7, data: 1 },
+            Desc {
+                tag: 0,
+                len: 0,
+                port: 0,
+                data: 0,
+            },
+            Desc {
+                tag: 31,
+                len: 9000,
+                port: 2,
+                data: 0x01ff_ffff,
+            },
+            Desc {
+                tag: 255,
+                len: 65535,
+                port: port::LOOPBACK_BASE + 7,
+                data: 1,
+            },
         ] {
             let rt = Desc::from_words(desc.pack_lo(), desc.data);
             assert_eq!(rt, desc);
@@ -211,7 +226,12 @@ mod tests {
 
     #[test]
     fn len_truncates_to_16_bits() {
-        let desc = Desc { tag: 1, len: 0x12_0000, port: 0, data: 0 };
+        let desc = Desc {
+            tag: 1,
+            len: 0x12_0000,
+            port: 0,
+            data: 0,
+        };
         let (len, _, _) = Desc::unpack_lo(desc.pack_lo());
         assert_eq!(len, 0); // callers must respect the 16 KB slot limit
     }

@@ -1,0 +1,189 @@
+//! Static firmware verification wired into the load path.
+//!
+//! `rosebud_riscv::Analyzer` knows nothing about the Rosebud framework; this
+//! module is the bridge. [`machine_spec`] renders the framework's memory map
+//! ([`crate::memmap`]) into the analyzer's [`MachineSpec`], and
+//! [`LoadPolicy`] decides what a [`crate::Rosebud`] does with the resulting
+//! [`LintReport`] whenever firmware is (re)loaded: record it, or refuse the
+//! image outright so the supervisor's evict/reload ladder never reinstalls a
+//! known-bad program.
+
+use rosebud_riscv::{CostModel, LintReport, MachineSpec, MmioReg, Region};
+
+use crate::config::RosebudConfig;
+use crate::types::memmap::{self, io};
+
+/// Bytes reserved for the firmware stack at the top of data memory. Purely
+/// a lint-time convention: `sp`-relative constant accesses must stay inside
+/// this window.
+pub const STACK_BYTES: u32 = 4096;
+
+/// Worst-case wait-states a blocking accelerator register read can charge
+/// (the firewall matcher's early result read costs up to this much).
+pub const ACCEL_READ_WAIT_CYCLES: u32 = 2;
+
+/// Extra wait-states on packet-memory accesses (mirrors the RPU bus).
+pub const PMEM_WAIT_CYCLES: u32 = 1;
+
+/// What a [`crate::Rosebud`] does with lint findings at firmware-load time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadPolicy {
+    /// Do not run the analyzer (the pre-existing behaviour).
+    #[default]
+    Off,
+    /// Run the analyzer and record the report in `diagnostics()`, but load
+    /// the firmware regardless.
+    Warn,
+    /// Like `Warn`, but refuse to install an image whose report contains
+    /// errors — at boot, on host loads, and on supervisor PR reloads.
+    Deny,
+}
+
+/// One recorded lint event: which RPU, when, and what the analyzer said.
+#[derive(Debug, Clone)]
+pub struct LintRecord {
+    /// RPU index the firmware was destined for.
+    pub rpu: usize,
+    /// System cycle at which the load was vetted (0 = initial boot).
+    pub cycle: u64,
+    /// Whether the load was refused under [`LoadPolicy::Deny`].
+    pub denied: bool,
+    /// The analyzer's full report.
+    pub report: LintReport,
+}
+
+/// Builds the analyzer's machine description from a framework config: the
+/// RPU memory map, the interconnect register table with read/write
+/// directions, the watchdog-pet register, and the simulator's cost model.
+pub fn machine_spec(cfg: &RosebudConfig) -> MachineSpec {
+    MachineSpec {
+        imem_bytes: cfg.imem_bytes,
+        dmem: Region {
+            base: memmap::DMEM_BASE,
+            bytes: cfg.dmem_bytes,
+        },
+        pmem: Region {
+            base: memmap::PMEM_BASE,
+            bytes: cfg.pmem_bytes,
+        },
+        io_base: memmap::IO_BASE,
+        io_window_bytes: memmap::IO_EXT_BASE - memmap::IO_BASE,
+        io_regs: io_reg_table(),
+        accel: Region {
+            base: memmap::IO_EXT_BASE,
+            bytes: memmap::BCAST_BASE - memmap::IO_EXT_BASE,
+        },
+        bcast: Region {
+            base: memmap::BCAST_BASE,
+            bytes: memmap::BCAST_BYTES,
+        },
+        watchdog_pet_offset: Some(io::TIMER_CMP),
+        stack: Some(Region {
+            base: memmap::DMEM_BASE + cfg.dmem_bytes - STACK_BYTES,
+            bytes: STACK_BYTES,
+        }),
+        cost: CostModel::default(),
+        pmem_wait_cycles: PMEM_WAIT_CYCLES,
+        accel_read_wait_cycles: ACCEL_READ_WAIT_CYCLES,
+    }
+}
+
+/// The interconnect register table, with directions matching the RPU's
+/// `io_read`/`io_write` dispatch (reads of write-only registers return 0,
+/// writes to read-only registers vanish — exactly the silent bugs the
+/// analyzer exists to catch).
+fn io_reg_table() -> Vec<MmioReg> {
+    fn r(offset: u32, name: &'static str) -> MmioReg {
+        MmioReg {
+            offset,
+            name,
+            readable: true,
+            writable: false,
+        }
+    }
+    fn w(offset: u32, name: &'static str) -> MmioReg {
+        MmioReg {
+            offset,
+            name,
+            readable: false,
+            writable: true,
+        }
+    }
+    fn rw(offset: u32, name: &'static str) -> MmioReg {
+        MmioReg {
+            offset,
+            name,
+            readable: true,
+            writable: true,
+        }
+    }
+    vec![
+        r(io::RECV_READY, "RECV_READY"),
+        r(io::RECV_DESC_LO, "RECV_DESC_LO"),
+        r(io::RECV_DESC_DATA, "RECV_DESC_DATA"),
+        w(io::RECV_RELEASE, "RECV_RELEASE"),
+        w(io::SEND_DESC_LO, "SEND_DESC_LO"),
+        w(io::SEND_DESC_DATA, "SEND_DESC_DATA"),
+        rw(io::STATUS, "STATUS"),
+        w(io::DEBUG_OUT_L, "DEBUG_OUT_L"),
+        w(io::DEBUG_OUT_H, "DEBUG_OUT_H"),
+        r(io::TIMER_L, "TIMER_L"),
+        r(io::TIMER_H, "TIMER_H"),
+        w(io::MASKS, "MASKS"),
+        r(io::HOST_IN_L, "HOST_IN_L"),
+        r(io::HOST_IN_H, "HOST_IN_H"),
+        r(io::BCAST_NOTIFY, "BCAST_NOTIFY"),
+        r(io::BCAST_FREE, "BCAST_FREE"),
+        w(io::TIMER_CMP, "TIMER_CMP"),
+        w(io::DMA_HOST_ADDR, "DMA_HOST_ADDR"),
+        w(io::DMA_LOCAL_ADDR, "DMA_LOCAL_ADDR"),
+        w(io::DMA_LEN, "DMA_LEN"),
+        w(io::DMA_CTRL, "DMA_CTRL"),
+        r(io::DMA_STATUS, "DMA_STATUS"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rosebud_riscv::{assemble, Analyzer};
+
+    #[test]
+    fn spec_matches_the_rpu_bus_dispatch() {
+        let spec = machine_spec(&RosebudConfig::with_rpus(1));
+        // The strict IO window ends exactly where the accelerator window
+        // begins, and the accelerator window ends at the broadcast region.
+        assert_eq!(spec.io_base + spec.io_window_bytes, spec.accel.base);
+        assert_eq!(spec.accel.base + spec.accel.bytes, spec.bcast.base);
+        // Every register offset is word-aligned and inside the window.
+        for reg in &spec.io_regs {
+            assert_eq!(reg.offset % 4, 0, "{}", reg.name);
+            assert!(reg.offset < spec.io_window_bytes);
+        }
+    }
+
+    #[test]
+    fn doc_example_forwarder_lints_clean() {
+        let spec = machine_spec(&RosebudConfig::with_rpus(1));
+        let image = assemble(
+            "
+            .equ IO, 0x02000000
+                li t0, IO
+                li t2, 0x01000000
+            poll:
+                lw a0, 0x00(t0)
+                beqz a0, poll
+                lw a1, 0x04(t0)
+                lw a2, 0x08(t0)
+                sw zero, 0x0c(t0)
+                xor a1, a1, t2
+                sw a1, 0x10(t0)
+                sw a2, 0x14(t0)
+                j poll
+            ",
+        )
+        .unwrap();
+        let report = Analyzer::new(spec).check(&image);
+        assert!(!report.has_errors(), "{}", report.render("forwarder"));
+    }
+}

@@ -93,7 +93,10 @@ fn evict_handler_saves_state_to_host_dram() {
             if let Some(desc) = io.rx_pop() {
                 self.flows_seen += 1;
                 io.charge(10);
-                io.send(Desc { port: desc.port ^ 1, ..desc });
+                io.send(Desc {
+                    port: desc.port ^ 1,
+                    ..desc
+                });
             }
         }
         fn interrupt(&mut self, line: u8, io: &mut RpuIo<'_>) {
@@ -148,7 +151,11 @@ fn firmware_dma_reads_host_tables() {
             if self.verified.is_none() && !io.host_dma_busy() {
                 let got = io.pmem_read(memmap::PMEM_BASE + 0x400, 8).to_vec();
                 self.verified = Some(got == [1, 2, 3, 4, 5, 6, 7, 8]);
-                io.set_status(if got == [1, 2, 3, 4, 5, 6, 7, 8] { 1 } else { 2 });
+                io.set_status(if got == [1, 2, 3, 4, 5, 6, 7, 8] {
+                    1
+                } else {
+                    2
+                });
             }
         }
     }

@@ -147,9 +147,18 @@ fn heterogeneous_rpu_chain_over_loopback() {
         .load_balancer(Box::new(RoundRobinLb::new()))
         .firmware(|r| {
             RpuProgram::Native(Box::new(match r {
-                0 => ChainStage { stamp: 1, next: Some(1) },
-                1 => ChainStage { stamp: 2, next: Some(2) },
-                _ => ChainStage { stamp: 3, next: None },
+                0 => ChainStage {
+                    stamp: 1,
+                    next: Some(1),
+                },
+                1 => ChainStage {
+                    stamp: 2,
+                    next: Some(2),
+                },
+                _ => ChainStage {
+                    stamp: 3,
+                    next: None,
+                },
             }))
         })
         .build()

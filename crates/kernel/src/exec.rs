@@ -79,9 +79,9 @@ impl KernelMode {
                     quantum: parse("ROSEBUD_QUANTUM", DEFAULT_QUANTUM as usize).max(1) as u32,
                 }
             }
-            Ok(other) => panic!(
-                "ROSEBUD_KERNEL must be \"sequential\" or \"parallel\", got {other:?}"
-            ),
+            Ok(other) => {
+                panic!("ROSEBUD_KERNEL must be \"sequential\" or \"parallel\", got {other:?}")
+            }
         }
     }
 }

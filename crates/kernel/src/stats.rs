@@ -220,7 +220,10 @@ impl LatencyStats {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The `p`-th percentile (0.0–100.0); 0.0 when empty.

@@ -39,8 +39,16 @@ pub struct PacketBuilder {
 #[derive(Debug, Clone)]
 enum L4 {
     None,
-    Tcp { src: u16, dst: u16, seq: u32, flags: u8 },
-    Udp { src: u16, dst: u16 },
+    Tcp {
+        src: u16,
+        dst: u16,
+        seq: u32,
+        flags: u8,
+    },
+    Udp {
+        src: u16,
+        dst: u16,
+    },
 }
 
 impl Default for PacketBuilder {
@@ -214,7 +222,12 @@ impl PacketBuilder {
 
             match self.l4 {
                 L4::None => {}
-                L4::Tcp { src, dst, seq, flags } => {
+                L4::Tcp {
+                    src,
+                    dst,
+                    seq,
+                    flags,
+                } => {
                     let tcp = TcpHeader {
                         src_port: src,
                         dst_port: dst,
@@ -273,7 +286,11 @@ mod tests {
 
     #[test]
     fn pad_to_smaller_than_frame_is_noop() {
-        let pkt = PacketBuilder::new().tcp(1, 2).payload(&[7u8; 100]).pad_to(64).build();
+        let pkt = PacketBuilder::new()
+            .tcp(1, 2)
+            .payload(&[7u8; 100])
+            .pad_to(64)
+            .build();
         assert_eq!(pkt.len(), 154);
     }
 
@@ -286,7 +303,11 @@ mod tests {
 
     #[test]
     fn seq_and_flags_apply_to_tcp() {
-        let pkt = PacketBuilder::new().tcp(1, 2).seq(99).tcp_flags(0x02).build();
+        let pkt = PacketBuilder::new()
+            .tcp(1, 2)
+            .seq(99)
+            .tcp_flags(0x02)
+            .build();
         let tcp = pkt.tcp().unwrap();
         assert_eq!(tcp.seq, 99);
         assert_eq!(tcp.flags, 0x02);

@@ -289,7 +289,12 @@ impl<G: TrafficGen> TrafficGen for AttackMixGen<G> {
                 if room >= pattern.len() {
                     // Plant the attack pattern at a deterministic offset.
                     let slack = room - pattern.len();
-                    let at = off + if slack == 0 { 0 } else { (self.next as usize * 7) % slack.max(1) };
+                    let at = off
+                        + if slack == 0 {
+                            0
+                        } else {
+                            (self.next as usize * 7) % slack.max(1)
+                        };
                     pkt.data[at..at + pattern.len()].copy_from_slice(pattern);
                 } else {
                     // Frame too small for the pattern: grow it.
@@ -374,7 +379,11 @@ impl ImixGen {
 
     /// The average frame size implied by the weight table.
     pub fn mean_size(&self) -> f64 {
-        let num: u64 = self.entries.iter().map(|&(s, w)| s as u64 * u64::from(w)).sum();
+        let num: u64 = self
+            .entries
+            .iter()
+            .map(|&(s, w)| s as u64 * u64::from(w))
+            .sum();
         num as f64 / f64::from(self.total_weight)
     }
 }

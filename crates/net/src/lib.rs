@@ -40,8 +40,8 @@ pub use builder::PacketBuilder;
 pub use flow::{flow_hash, FlowKey};
 pub use gen::{AttackMixGen, FixedSizeGen, FlowTrafficGen, ImixGen, TrafficGen};
 pub use headers::{
-    ipv4_checksum, EthHeader, EtherType, HeaderError, IpProtocol, Ipv4Header, TcpHeader,
-    UdpHeader, ETH_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN, UDP_HEADER_LEN,
+    ipv4_checksum, EthHeader, EtherType, HeaderError, IpProtocol, Ipv4Header, TcpHeader, UdpHeader,
+    ETH_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN, UDP_HEADER_LEN,
 };
 pub use packet::{Packet, PacketId};
 pub use pcap::{parse_pcap, read_pcap_file, to_pcap, write_pcap_file, PcapError};
@@ -89,8 +89,16 @@ mod tests {
         // 65-byte at 250 Mpps = 89 %.
         let max64 = line_rate_pps(200.0, 64) / 1e6;
         let max65 = line_rate_pps(200.0, 65) / 1e6;
-        assert!((250.0 / max64 - 0.88).abs() < 0.005, "64B ratio {}", 250.0 / max64);
-        assert!((250.0 / max65 - 0.89).abs() < 0.005, "65B ratio {}", 250.0 / max65);
+        assert!(
+            (250.0 / max64 - 0.88).abs() < 0.005,
+            "64B ratio {}",
+            250.0 / max64
+        );
+        assert!(
+            (250.0 / max65 - 0.89).abs() < 0.005,
+            "65B ratio {}",
+            250.0 / max65
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use rosebud_kernel::Cycle;
 
-use crate::headers::{EthHeader, Ipv4Header, TcpHeader, UdpHeader, ETH_HEADER_LEN, IPV4_HEADER_LEN};
+use crate::headers::{
+    EthHeader, Ipv4Header, TcpHeader, UdpHeader, ETH_HEADER_LEN, IPV4_HEADER_LEN,
+};
 use crate::{wire_bytes, HeaderError, IpProtocol};
 
 /// A unique, monotonically assigned packet identifier used by conservation

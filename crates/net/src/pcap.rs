@@ -150,10 +150,7 @@ pub fn write_pcap_file(
 ///
 /// Propagates I/O errors; pcap format errors surface as
 /// [`std::io::ErrorKind::InvalidData`].
-pub fn read_pcap_file(
-    path: impl AsRef<std::path::Path>,
-    clock_hz: u64,
-) -> std::io::Result<Trace> {
+pub fn read_pcap_file(path: impl AsRef<std::path::Path>, clock_hz: u64) -> std::io::Result<Trace> {
     let bytes = std::fs::read(path)?;
     parse_pcap(&bytes, clock_hz)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
@@ -178,7 +175,12 @@ mod tests {
         for (a, b) in back.iter().zip(trace.iter()) {
             assert_eq!(a.bytes(), b.bytes());
             // Microsecond pcap resolution: 250 cycles per microsecond.
-            assert!(a.ts_gen.abs_diff(b.ts_gen) < 250, "{} vs {}", a.ts_gen, b.ts_gen);
+            assert!(
+                a.ts_gen.abs_diff(b.ts_gen) < 250,
+                "{} vs {}",
+                a.ts_gen,
+                b.ts_gen
+            );
         }
     }
 

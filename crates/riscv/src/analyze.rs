@@ -1,0 +1,2041 @@
+//! `rosebud-verify`: static firmware analysis over assembled images.
+//!
+//! The paper's pitch is that middlebox development gets pleasant when
+//! firmware bugs are caught *before* they hit hardware; until now the only
+//! way to learn that an image touches a bogus MMIO address, never pets the
+//! watchdog, or blows its cycle budget was to simulate it and watch the
+//! supervisor evict it. This module closes that gap: it reconstructs a
+//! control-flow graph from an assembled [`Image`] (reusing the
+//! [`DecodeCache`] predecoder), runs an abstract interpretation over
+//! registers, and reports structured diagnostics plus a per-entry-point
+//! worst-case execution time bound derived from the same [`CostModel`] the
+//! simulator charges.
+//!
+//! The checks:
+//!
+//! 1. **MMIO validity** — every load/store whose abstract address resolves
+//!    into the device window must hit a register the machine map defines,
+//!    with the read/write direction checked.
+//! 2. **Watchdog liveness** — every cycle in the CFG's loop nest must
+//!    contain a watchdog-pet store or a `wfi`, else the firmware is a
+//!    supervisor-eviction hazard under a watchdog policy.
+//! 3. **Uninitialized registers and stack bounds** — reads of registers no
+//!    path has written, and `sp`-relative accesses outside the configured
+//!    stack region.
+//! 4. **Illegal/unreachable code** — reachable words that do not decode
+//!    (or fall off the image), and decodable but dead blocks.
+//! 5. **Per-path WCET** — a cycle bound per entry point: the longest
+//!    acyclic path plus a worst-case bound per loop iteration.
+//!
+//! Known-imprecise cases are documented on [`Analyzer::check`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rosebud_riscv::{assemble, Analyzer, MachineSpec};
+//!
+//! let image = assemble("
+//!         li a0, 5
+//!     loop:
+//!         addi a0, a0, -1
+//!         bnez a0, loop
+//!         ebreak
+//! ").unwrap();
+//! let report = Analyzer::new(MachineSpec::bare(4096, 65536)).check(&image);
+//! assert!(!report.has_errors());
+//! assert_eq!(report.wcet.len(), 1);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::asm::Image;
+use crate::cpu::{alu, CostModel};
+use crate::icache::DecodeCache;
+use crate::isa::{Instr, LoadOp, MulOp, Reg, StoreOp};
+
+/// A half-open memory region `[base, base + bytes)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte address.
+    pub base: u32,
+    /// Length in bytes (0 = the region does not exist).
+    pub bytes: u32,
+}
+
+impl Region {
+    /// The empty region.
+    pub const NONE: Region = Region { base: 0, bytes: 0 };
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.bytes > 0 && addr.wrapping_sub(self.base) < self.bytes
+    }
+}
+
+/// One memory-mapped device register, with its access direction.
+#[derive(Debug, Clone, Copy)]
+pub struct MmioReg {
+    /// Byte offset of the (word-sized) register from the device window base.
+    pub offset: u32,
+    /// Human-readable name used in diagnostics.
+    pub name: &'static str,
+    /// Whether firmware loads from this register are meaningful.
+    pub readable: bool,
+    /// Whether firmware stores to this register are meaningful.
+    pub writable: bool,
+}
+
+/// The machine the firmware will run on, as the analyzer sees it.
+///
+/// `rosebud-riscv` deliberately knows nothing about the Rosebud framework;
+/// the framework side constructs this from its own memory map (see
+/// `rosebud_core::machine_spec`), and tests can build reduced ones.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Instruction memory size; code lives at `[image.base, imem_bytes)`.
+    pub imem_bytes: u32,
+    /// Scratch data memory.
+    pub dmem: Region,
+    /// Packet memory (loads/stores pay `pmem_wait_cycles` extra).
+    pub pmem: Region,
+    /// Device window base; `[io_base, io_base + io_window_bytes)` must hit
+    /// a defined [`MmioReg`].
+    pub io_base: u32,
+    /// Size of the strict device window.
+    pub io_window_bytes: u32,
+    /// The device registers inside the window.
+    pub io_regs: Vec<MmioReg>,
+    /// Accelerator register window (any offset allowed; reads may block).
+    pub accel: Region,
+    /// Broadcast-receive window (read-only mailbox memory).
+    pub bcast: Region,
+    /// Offset (from `io_base`) of the watchdog-pet register, if the machine
+    /// has a watchdog. A store here, or a `wfi`, counts as liveness.
+    pub watchdog_pet_offset: Option<u32>,
+    /// The region `sp`-relative accesses must stay inside, if configured.
+    pub stack: Option<Region>,
+    /// The pipeline timing model used for WCET bounds.
+    pub cost: CostModel,
+    /// Extra wait-states on packet-memory accesses.
+    pub pmem_wait_cycles: u32,
+    /// Worst-case extra wait-states on accelerator reads (blocking reads).
+    pub accel_read_wait_cycles: u32,
+}
+
+impl MachineSpec {
+    /// A bare flat-RAM machine (the [`crate::RamBus`] shape): code at 0,
+    /// all of `[0, ram_bytes)` writable data, no devices, no watchdog.
+    pub fn bare(imem_bytes: u32, ram_bytes: u32) -> Self {
+        MachineSpec {
+            imem_bytes,
+            dmem: Region {
+                base: 0,
+                bytes: ram_bytes,
+            },
+            pmem: Region::NONE,
+            io_base: 0,
+            io_window_bytes: 0,
+            io_regs: Vec::new(),
+            accel: Region::NONE,
+            bcast: Region::NONE,
+            watchdog_pet_offset: None,
+            stack: None,
+            cost: CostModel::default(),
+            pmem_wait_cycles: 0,
+            accel_read_wait_cycles: 0,
+        }
+    }
+
+    /// Worst-case extra wait-states for a load whose address is unknown.
+    fn worst_load_wait(&self) -> u32 {
+        self.pmem_wait_cycles.max(self.accel_read_wait_cycles)
+    }
+
+    /// Worst-case extra wait-states for a store whose address is unknown.
+    fn worst_store_wait(&self) -> u32 {
+        self.pmem_wait_cycles
+    }
+}
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; never blocks a load.
+    Warning,
+    /// A definite bug; blocks the load under `LoadPolicy::Deny`.
+    Error,
+}
+
+/// Which static check produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// MMIO validity (unknown register / wrong direction / out of window).
+    Mmio,
+    /// A memory access outside every mapped region.
+    Region,
+    /// Watchdog liveness (a loop that neither pets nor sleeps).
+    Watchdog,
+    /// Use of a register no path has initialized.
+    Uninit,
+    /// `sp`-relative access outside the configured stack region.
+    Stack,
+    /// Reachable code that does not decode or falls off the image.
+    Illegal,
+    /// Decodable but unreachable code.
+    Dead,
+    /// Control flow the analysis cannot follow (indirect jumps, `mret`).
+    Flow,
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Check::Mmio => "mmio",
+            Check::Region => "region",
+            Check::Watchdog => "watchdog",
+            Check::Uninit => "uninit",
+            Check::Stack => "stack",
+            Check::Illegal => "illegal",
+            Check::Dead => "dead-code",
+            Check::Flow => "flow",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured finding: severity, check class, the PC at fault, and a
+/// CFG path witness from the entry point to the offending block.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Which check fired.
+    pub check: Check,
+    /// The program counter at fault.
+    pub pc: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Block-start PCs of one path from an entry point to the fault
+    /// (empty for findings with no meaningful path, e.g. dead code).
+    pub path: Vec<u32>,
+}
+
+/// Worst-case bound for one loop (identified by its header block).
+#[derive(Debug, Clone)]
+pub struct LoopBound {
+    /// Loop-header block start PC.
+    pub header: u32,
+    /// Nearest label at the header, if the image has one.
+    pub label: Option<String>,
+    /// Worst-case cycles for one iteration (header back to header).
+    pub cycles_per_iter: u64,
+}
+
+/// WCET summary for one entry point.
+#[derive(Debug, Clone)]
+pub struct EntryWcet {
+    /// Entry PC.
+    pub entry: u32,
+    /// Label at the entry, if any.
+    pub label: Option<String>,
+    /// Longest acyclic path from the entry, in cycles (loop back edges
+    /// excluded; multiply by iteration bounds for loop-carried budgets).
+    pub acyclic_cycles: u64,
+    /// Per-loop iteration bounds, in header-PC order.
+    pub loops: Vec<LoopBound>,
+}
+
+/// The analyzer's full output: diagnostics plus WCET bounds.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (pc, check) for stable output.
+    pub diagnostics: Vec<Diagnostic>,
+    /// One WCET summary per entry point.
+    pub wcet: Vec<EntryWcet>,
+}
+
+impl LintReport {
+    /// Whether any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Count of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Count of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Renders the report as stable, diffable text (used for golden lint
+    /// snapshots and the `lint` example).
+    pub fn render(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "lint report: {name}");
+        for w in &self.wcet {
+            let label = w
+                .label
+                .as_deref()
+                .map(|l| format!(" <{l}>"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "entry 0x{:08x}{label}: longest acyclic path {} cycles",
+                w.entry, w.acyclic_cycles
+            );
+            for l in &w.loops {
+                let label = l
+                    .label
+                    .as_deref()
+                    .map(|l| format!(" <{l}>"))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  loop 0x{:08x}{label}: <= {} cycles/iteration",
+                    l.header, l.cycles_per_iter
+                );
+            }
+        }
+        for d in &self.diagnostics {
+            let sev = match d.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
+            let _ = writeln!(out, "{sev}[{}]: pc 0x{:08x}: {}", d.check, d.pc, d.message);
+            if !d.path.is_empty() {
+                let path = d
+                    .path
+                    .iter()
+                    .map(|p| format!("0x{p:08x}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                let _ = writeln!(out, "  path: {path}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract domain
+// ---------------------------------------------------------------------------
+
+/// Abstract register value: a known constant or anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    Const(u32),
+    Any,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) if a == b => self,
+            _ => AbsVal::Any,
+        }
+    }
+}
+
+/// Whether a register has been written on no / some / all paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Init {
+    No,
+    Maybe,
+    Yes,
+}
+
+impl Init {
+    fn join(self, other: Init) -> Init {
+        match (self, other) {
+            (Init::Yes, Init::Yes) => Init::Yes,
+            (Init::No, Init::No) => Init::No,
+            _ => Init::Maybe,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    regs: [AbsVal; 32],
+    init: [Init; 32],
+}
+
+impl AbsState {
+    /// Boot entry: only `x0` is defined.
+    fn boot() -> Self {
+        let mut s = AbsState {
+            regs: [AbsVal::Any; 32],
+            init: [Init::No; 32],
+        };
+        s.regs[0] = AbsVal::Const(0);
+        s.init[0] = Init::Yes;
+        s
+    }
+
+    /// Trap entry: the interrupted context's registers are all live.
+    fn trap() -> Self {
+        let mut s = AbsState {
+            regs: [AbsVal::Any; 32],
+            init: [Init::Yes; 32],
+        };
+        s.regs[0] = AbsVal::Const(0);
+        s
+    }
+
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for i in 0..32 {
+            let v = self.regs[i].join(other.regs[i]);
+            let t = self.init[i].join(other.init[i]);
+            if v != self.regs[i] || t != self.init[i] {
+                self.regs[i] = v;
+                self.init[i] = t;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn get(&self, r: Reg) -> AbsVal {
+        self.regs[r.0 as usize]
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+            self.init[r.0 as usize] = Init::Yes;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CFG
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Block {
+    start: u32,
+    instrs: Vec<(u32, Instr)>,
+    /// Successor block starts with the cycle cost of taking that edge
+    /// (terminator cost; body cost is separate).
+    succs: Vec<(u32, u32)>,
+    /// Whether a reachable decode failure terminates this block.
+    illegal_at: Option<u32>,
+}
+
+/// What region a constant address falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Where {
+    Imem,
+    Dmem,
+    Pmem,
+    Io(u32),
+    Accel,
+    Bcast,
+    Nowhere,
+}
+
+/// The static firmware analyzer. Construct with a [`MachineSpec`], then
+/// [`Analyzer::check`] any number of images.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    spec: MachineSpec,
+}
+
+impl Analyzer {
+    /// Creates an analyzer for the given machine.
+    pub fn new(spec: MachineSpec) -> Self {
+        Analyzer { spec }
+    }
+
+    /// The spec this analyzer checks against.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Runs every check over `image` and returns the report.
+    ///
+    /// Known-imprecise cases (documented deliberately — the analyzer is a
+    /// linter, not a verifier):
+    ///
+    /// * Indirect jumps (`jalr`, `mret`) are not followed; they end their
+    ///   block with a `flow` warning, so code only reachable through them
+    ///   may additionally be reported as dead.
+    /// * Memory checks fire only when the address is a compile-time
+    ///   constant after abstract interpretation; accesses through
+    ///   data-dependent pointers (e.g. descriptor-carried slot addresses)
+    ///   are charged worst-case wait-states but not range-checked.
+    /// * `.word`/`.byte` data inside the text section is indistinguishable
+    ///   from code: unreachable data that happens to decode is reported as
+    ///   dead code.
+    /// * WCET assumes no interrupt service (asynchronous traps are charged
+    ///   to the handler's own entry, not the interrupted path) and charges
+    ///   every unknown-address access worst-case wait-states.
+    pub fn check(&self, image: &Image) -> LintReport {
+        // Predecode the whole image once; the same predecoder warms the
+        // simulator's decode cache, so "decodes here" and "decodes there"
+        // cannot drift apart.
+        let mut dc = DecodeCache::new(self.spec.imem_bytes as usize);
+        dc.predecode(image.base(), image.words());
+
+        // Entry points: the boot PC, plus any trap vector installed via a
+        // constant `csrw mtvec`. Trap vectors are discovered by the
+        // abstract interpretation, so iterate until the entry set is
+        // stable (bounded: each pass can only add vectors).
+        let mut entries: BTreeMap<u32, bool> = BTreeMap::new(); // pc -> is_trap
+        entries.insert(image.base(), false);
+        let mut report;
+        loop {
+            report = self.check_with_entries(image, &mut dc, &entries);
+            let mut grew = false;
+            for &v in &report.trap_vectors {
+                if dc.covers(v) && !entries.contains_key(&v) {
+                    entries.insert(v, true);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        let mut diagnostics = report.diagnostics;
+        diagnostics.sort_by_key(|d| (d.pc, d.path.len(), d.message.clone()));
+        LintReport {
+            diagnostics,
+            wcet: report.wcet,
+        }
+    }
+
+    fn check_with_entries(
+        &self,
+        image: &Image,
+        dc: &mut DecodeCache,
+        entries: &BTreeMap<u32, bool>,
+    ) -> RawReport {
+        let spec = &self.spec;
+        let base = image.base();
+        let image_end = base + image.size_bytes();
+        let labels = label_map(image);
+        let mut diags: Vec<Diagnostic> = Vec::new();
+
+        // ---- Phase A: discover reachable PCs and block leaders. ----
+        let mut leaders: BTreeSet<u32> = entries.keys().copied().collect();
+        let mut reachable: BTreeSet<u32> = BTreeSet::new();
+        let mut queue: VecDeque<u32> = leaders.iter().copied().collect();
+        let mut scanned: BTreeSet<u32> = BTreeSet::new();
+        while let Some(leader) = queue.pop_front() {
+            if !scanned.insert(leader) {
+                continue;
+            }
+            let mut pc = leader;
+            loop {
+                if pc != leader && reachable.contains(&pc) {
+                    // Join point: a second path falls into an already
+                    // scanned run, so the target must start its own block.
+                    if leaders.insert(pc) {
+                        queue.push_back(pc);
+                    }
+                    break;
+                }
+                reachable.insert(pc);
+                let Some(instr) = decode_at(dc, pc) else {
+                    break; // illegal or off the image; diagnosed in phase B
+                };
+                let mut done = true;
+                match instr {
+                    Instr::Branch { imm, .. } => {
+                        for t in [pc.wrapping_add(imm as u32), pc.wrapping_add(4)] {
+                            if target_ok(dc, t) && leaders.insert(t) {
+                                queue.push_back(t);
+                            }
+                        }
+                    }
+                    Instr::Jal { imm, .. } => {
+                        let t = pc.wrapping_add(imm as u32);
+                        if target_ok(dc, t) && leaders.insert(t) {
+                            queue.push_back(t);
+                        }
+                    }
+                    Instr::Jalr { .. } | Instr::Mret | Instr::Ebreak => {}
+                    _ => done = false,
+                }
+                if done {
+                    break;
+                }
+                pc = pc.wrapping_add(4);
+            }
+        }
+
+        // ---- Phase B: materialize blocks with per-edge costs. ----
+        let mut blocks: BTreeMap<u32, Block> = BTreeMap::new();
+        for &leader in &leaders {
+            if !reachable.contains(&leader) {
+                continue;
+            }
+            let mut block = Block {
+                start: leader,
+                instrs: Vec::new(),
+                succs: Vec::new(),
+                illegal_at: None,
+            };
+            let mut pc = leader;
+            loop {
+                let Some(instr) = decode_at(dc, pc) else {
+                    block.illegal_at = Some(pc);
+                    break;
+                };
+                block.instrs.push((pc, instr));
+                let jump = spec.cost.jump;
+                match instr {
+                    Instr::Branch { imm, .. } => {
+                        let taken = pc.wrapping_add(imm as u32);
+                        let fall = pc.wrapping_add(4);
+                        if target_ok(dc, taken) {
+                            block.succs.push((taken, spec.cost.branch_taken));
+                        } else {
+                            block.illegal_at = Some(pc);
+                        }
+                        if target_ok(dc, fall) {
+                            block.succs.push((fall, spec.cost.branch_not_taken));
+                        }
+                        break;
+                    }
+                    Instr::Jal { imm, .. } => {
+                        let t = pc.wrapping_add(imm as u32);
+                        if target_ok(dc, t) {
+                            block.succs.push((t, jump));
+                        } else {
+                            block.illegal_at = Some(pc);
+                        }
+                        break;
+                    }
+                    Instr::Jalr { .. } | Instr::Mret | Instr::Ebreak => break,
+                    _ => {}
+                }
+                pc = pc.wrapping_add(4);
+                if leaders.contains(&pc) {
+                    block.succs.push((pc, 0)); // plain fallthrough
+                    break;
+                }
+            }
+            blocks.insert(leader, block);
+        }
+
+        // ---- Illegal / dead code. ----
+        let path_to = |blocks: &BTreeMap<u32, Block>, target: u32| -> Vec<u32> {
+            bfs_path(blocks, entries.keys().copied(), target)
+        };
+        for block in blocks.values() {
+            if let Some(pc) = block.illegal_at {
+                let message = if dc.covers(pc) {
+                    let word = word_at(image, pc);
+                    match word {
+                        Some(w) => format!("illegal instruction word 0x{w:08x}"),
+                        None => "execution runs off the end of the image into zeroed \
+                                 instruction memory"
+                            .to_string(),
+                    }
+                } else {
+                    "control flow leaves instruction memory".to_string()
+                };
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    check: Check::Illegal,
+                    pc,
+                    message,
+                    path: path_to(&blocks, block.start),
+                });
+            }
+            if let Some(&(pc, instr)) = block.instrs.last() {
+                if matches!(instr, Instr::Jalr { .. } | Instr::Mret) {
+                    let what = if matches!(instr, Instr::Mret) {
+                        "mret returns to a runtime-dependent PC"
+                    } else {
+                        "indirect jump target is runtime-dependent"
+                    };
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        check: Check::Flow,
+                        pc,
+                        message: format!("{what}; the analysis does not follow it"),
+                        path: path_to(&blocks, block.start),
+                    });
+                }
+            }
+        }
+        // Dead code: decodable words nothing reaches. Reported once per
+        // maximal run to keep reports readable.
+        let mut run_start: Option<u32> = None;
+        let mut run_len = 0u32;
+        let flush_dead = |diags: &mut Vec<Diagnostic>, start: Option<u32>, len: u32| {
+            if let Some(s) = start {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    check: Check::Dead,
+                    pc: s,
+                    message: format!(
+                        "unreachable code ({len} instruction(s) no path executes; \
+                         data in the text section also looks like this)"
+                    ),
+                    path: Vec::new(),
+                });
+            }
+        };
+        let mut pc = base;
+        while pc < image_end {
+            let decodes = decode_at(dc, pc).is_some();
+            if decodes && !reachable.contains(&pc) {
+                run_start.get_or_insert(pc);
+                run_len += 1;
+            } else {
+                flush_dead(&mut diags, run_start.take(), run_len);
+                run_len = 0;
+            }
+            pc += 4;
+        }
+        flush_dead(&mut diags, run_start.take(), run_len);
+
+        // ---- Abstract interpretation to a fixpoint. ----
+        let mut in_states: BTreeMap<u32, AbsState> = BTreeMap::new();
+        let mut work: VecDeque<u32> = VecDeque::new();
+        for (&entry, &is_trap) in entries {
+            let seed = if is_trap {
+                AbsState::trap()
+            } else {
+                AbsState::boot()
+            };
+            match in_states.entry(entry) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(seed);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    o.get_mut().join_from(&seed);
+                }
+            }
+            work.push_back(entry);
+        }
+        while let Some(at) = work.pop_front() {
+            let Some(block) = blocks.get(&at) else {
+                continue;
+            };
+            let mut state = in_states.get(&at).cloned().unwrap_or_else(AbsState::boot);
+            let mut sink = NoSink;
+            self.exec_block(block, &mut state, &mut sink);
+            for &(succ, _) in &block.succs {
+                match in_states.entry(succ) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(state.clone());
+                        work.push_back(succ);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        if o.get_mut().join_from(&state) {
+                            work.push_back(succ);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Final pass: diagnostics, per-block facts, trap vectors. ----
+        let mut facts: BTreeMap<u32, BlockFacts> = BTreeMap::new();
+        let mut trap_vectors: Vec<u32> = Vec::new();
+        for (&at, block) in &blocks {
+            let mut state = in_states.get(&at).cloned().unwrap_or_else(AbsState::boot);
+            let mut sink = DiagSink {
+                diags: Vec::new(),
+                facts: BlockFacts::default(),
+            };
+            self.exec_block(block, &mut state, &mut sink);
+            for mut d in sink.diags {
+                d.path = path_to(&blocks, at);
+                diags.push(d);
+            }
+            trap_vectors.extend(&sink.facts.trap_vectors);
+            facts.insert(at, sink.facts);
+        }
+
+        // ---- Watchdog liveness over the loop nest (SCCs). ----
+        if spec.watchdog_pet_offset.is_some() {
+            for scc in sccs(&blocks) {
+                let cyclic =
+                    scc.len() > 1 || blocks[&scc[0]].succs.iter().any(|&(s, _)| s == scc[0]);
+                if !cyclic {
+                    continue;
+                }
+                // Remove every block that pets or sleeps; if a cycle
+                // survives, that cycle can starve the watchdog forever.
+                let residual: BTreeSet<u32> = scc
+                    .iter()
+                    .copied()
+                    .filter(|b| !facts.get(b).map(|f| f.pets).unwrap_or(false))
+                    .collect();
+                if let Some(cycle) = find_cycle(&blocks, &residual) {
+                    let at = cycle[0];
+                    let label = labels
+                        .get(&at)
+                        .map(|l| format!(" <{l}>"))
+                        .unwrap_or_default();
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        check: Check::Watchdog,
+                        pc: at,
+                        message: format!(
+                            "loop at 0x{at:08x}{label} can spin forever without petting \
+                             the watchdog or sleeping (wfi); a supervisor watchdog \
+                             policy would evict this firmware"
+                        ),
+                        path: cycle,
+                    });
+                }
+            }
+        }
+
+        // ---- WCET per entry point. ----
+        let mut wcet = Vec::new();
+        for &entry in entries.keys() {
+            if let Some(w) = self.entry_wcet(entry, &blocks, &facts, &labels) {
+                wcet.push(w);
+            }
+        }
+
+        RawReport {
+            diagnostics: diags,
+            wcet,
+            trap_vectors,
+        }
+    }
+
+    /// Classifies a constant address against the machine map. The order
+    /// mirrors the RPU bus dispatch (broadcast window first, then the
+    /// accelerator/IO/pmem/dmem bases, falling through to imem).
+    fn locate(&self, addr: u32) -> Where {
+        let spec = &self.spec;
+        if spec.bcast.contains(addr) {
+            Where::Bcast
+        } else if spec.accel.contains(addr) {
+            Where::Accel
+        } else if spec.io_window_bytes > 0 && addr.wrapping_sub(spec.io_base) < spec.io_window_bytes
+        {
+            Where::Io(addr - spec.io_base)
+        } else if spec.pmem.contains(addr) {
+            Where::Pmem
+        } else if spec.dmem.contains(addr) {
+            Where::Dmem
+        } else if addr < spec.imem_bytes {
+            Where::Imem
+        } else {
+            Where::Nowhere
+        }
+    }
+
+    /// Interprets one block from `state`, reporting reads of uninitialized
+    /// registers, memory-map violations, and per-instruction worst-case
+    /// cost into `sink`.
+    fn exec_block(&self, block: &Block, state: &mut AbsState, sink: &mut impl Sink) {
+        let spec = &self.spec;
+        let n = block.instrs.len();
+        for (idx, &(pc, instr)) in block.instrs.iter().enumerate() {
+            let is_term = idx + 1 == n;
+            let read = |r: Reg, state: &AbsState, sink: &mut dyn SinkDyn| {
+                match state.init[r.0 as usize] {
+                    Init::Yes => {}
+                    Init::No => sink.diag(Diagnostic {
+                        severity: Severity::Error,
+                        check: Check::Uninit,
+                        pc,
+                        message: format!("reads {} which no path has initialized", reg_name(r)),
+                        path: Vec::new(),
+                    }),
+                    Init::Maybe => sink.diag(Diagnostic {
+                        severity: Severity::Warning,
+                        check: Check::Uninit,
+                        pc,
+                        message: format!(
+                            "reads {} which some paths leave uninitialized",
+                            reg_name(r)
+                        ),
+                        path: Vec::new(),
+                    }),
+                }
+                state.get(r)
+            };
+            let mut cost = spec.cost.base;
+            match instr {
+                Instr::Lui { rd, imm } => {
+                    state.set(rd, AbsVal::Const((imm << 12) as u32));
+                }
+                Instr::Auipc { rd, imm } => {
+                    state.set(rd, AbsVal::Const(pc.wrapping_add((imm << 12) as u32)));
+                }
+                Instr::Jal { rd, .. } => {
+                    state.set(rd, AbsVal::Const(pc.wrapping_add(4)));
+                    cost = 0; // charged on the edge
+                }
+                Instr::Jalr { rd, rs1, .. } => {
+                    read(rs1, state, sink);
+                    state.set(rd, AbsVal::Const(pc.wrapping_add(4)));
+                    cost = spec.cost.jump;
+                }
+                Instr::Branch { rs1, rs2, .. } => {
+                    read(rs1, state, sink);
+                    read(rs2, state, sink);
+                    cost = 0; // charged on the edge
+                }
+                Instr::Load { op, rd, rs1, imm } => {
+                    let addr = read(rs1, state, sink);
+                    let wait = self.check_access(
+                        pc,
+                        rs1,
+                        addr,
+                        imm,
+                        AccessDir::Load,
+                        access_bytes_load(op),
+                        sink,
+                    );
+                    state.set(rd, AbsVal::Any);
+                    cost = spec.cost.load + wait;
+                }
+                Instr::Store { op, rs1, rs2, imm } => {
+                    let addr = read(rs1, state, sink);
+                    read(rs2, state, sink);
+                    let wait = self.check_access(
+                        pc,
+                        rs1,
+                        addr,
+                        imm,
+                        AccessDir::Store,
+                        access_bytes_store(op),
+                        sink,
+                    );
+                    if let (AbsVal::Const(a), Some(off)) = (addr, spec.watchdog_pet_offset) {
+                        let a = a.wrapping_add(imm as u32);
+                        if self.locate(a) == Where::Io(off) {
+                            sink.pets();
+                        }
+                    }
+                    cost = spec.cost.store + wait;
+                }
+                Instr::OpImm { op, rd, rs1, imm } => {
+                    let a = read(rs1, state, sink);
+                    let v = match a {
+                        AbsVal::Const(a) => AbsVal::Const(alu(op, a, imm as u32)),
+                        AbsVal::Any => AbsVal::Any,
+                    };
+                    state.set(rd, v);
+                }
+                Instr::Op { op, rd, rs1, rs2 } => {
+                    let a = read(rs1, state, sink);
+                    let b = read(rs2, state, sink);
+                    let v = match (a, b) {
+                        (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(alu(op, a, b)),
+                        _ => AbsVal::Any,
+                    };
+                    state.set(rd, v);
+                }
+                Instr::MulDiv { op, rd, rs1, rs2 } => {
+                    read(rs1, state, sink);
+                    read(rs2, state, sink);
+                    // Constant folding of M-ops buys nothing for firmware
+                    // linting; stay conservative.
+                    state.set(rd, AbsVal::Any);
+                    cost = match op {
+                        MulOp::Mul | MulOp::Mulh | MulOp::Mulhsu | MulOp::Mulhu => spec.cost.mul,
+                        _ => spec.cost.div,
+                    };
+                }
+                Instr::Csr { rd, csr, src, .. } => {
+                    let written = match src {
+                        crate::isa::CsrSrc::Reg(rs) => read(rs, state, sink),
+                        crate::isa::CsrSrc::Imm(v) => AbsVal::Const(u32::from(v)),
+                    };
+                    // `csrw mtvec, rX` with a constant installs a trap
+                    // handler: that address becomes an entry point.
+                    if csr == crate::cpu::csr::MTVEC {
+                        if let AbsVal::Const(v) = written {
+                            sink.trap_vector(v & !3);
+                        }
+                    }
+                    state.set(rd, AbsVal::Any);
+                }
+                Instr::Wfi => {
+                    sink.pets();
+                }
+                Instr::Fence | Instr::Ecall | Instr::Ebreak => {}
+                Instr::Mret => {
+                    cost = spec.cost.jump;
+                }
+            }
+            if !(is_term && matches!(instr, Instr::Branch { .. } | Instr::Jal { .. })) {
+                sink.cost(u64::from(cost));
+            } else {
+                // Terminating branch/jal cost lives on the CFG edge.
+                sink.cost(u64::from(cost.saturating_sub(spec.cost.base)));
+            }
+        }
+    }
+
+    /// Checks one memory access; returns its worst-case extra wait-states.
+    #[allow(clippy::too_many_arguments)]
+    fn check_access(
+        &self,
+        pc: u32,
+        rs1: Reg,
+        base: AbsVal,
+        imm: i32,
+        dir: AccessDir,
+        bytes: u32,
+        sink: &mut impl Sink,
+    ) -> u32 {
+        let spec = &self.spec;
+        let AbsVal::Const(base) = base else {
+            // Unknown pointer: charge the worst wait the bus can impose.
+            return match dir {
+                AccessDir::Load => spec.worst_load_wait(),
+                AccessDir::Store => spec.worst_store_wait(),
+            };
+        };
+        let addr = base.wrapping_add(imm as u32);
+        let verb = match dir {
+            AccessDir::Load => "load from",
+            AccessDir::Store => "store to",
+        };
+        // Stack discipline: sp-relative constant accesses must stay inside
+        // the configured stack region.
+        if rs1 == Reg::SP {
+            if let Some(stack) = spec.stack {
+                if !stack.contains(addr) || !stack.contains(addr + bytes - 1) {
+                    sink.diag(Diagnostic {
+                        severity: Severity::Error,
+                        check: Check::Stack,
+                        pc,
+                        message: format!(
+                            "sp-relative {verb} 0x{addr:08x} is outside the stack \
+                             region [0x{:08x}, 0x{:08x})",
+                            stack.base,
+                            stack.base + stack.bytes
+                        ),
+                        path: Vec::new(),
+                    });
+                    return 0;
+                }
+            }
+        }
+        match self.locate(addr) {
+            Where::Dmem => 0,
+            Where::Pmem => spec.pmem_wait_cycles,
+            Where::Bcast => {
+                if dir == AccessDir::Store {
+                    sink.diag(Diagnostic {
+                        severity: Severity::Error,
+                        check: Check::Mmio,
+                        pc,
+                        message: format!("store to 0x{addr:08x} in the read-only broadcast window"),
+                        path: Vec::new(),
+                    });
+                }
+                0
+            }
+            Where::Accel => match dir {
+                AccessDir::Load => spec.accel_read_wait_cycles,
+                AccessDir::Store => 0,
+            },
+            Where::Io(off) => {
+                let word_off = off & !3;
+                match spec.io_regs.iter().find(|r| r.offset == word_off) {
+                    None => {
+                        sink.diag(Diagnostic {
+                            severity: Severity::Error,
+                            check: Check::Mmio,
+                            pc,
+                            message: format!(
+                                "{verb} device offset 0x{off:02x}: no register is \
+                                 mapped there (reads return 0, writes vanish)"
+                            ),
+                            path: Vec::new(),
+                        });
+                    }
+                    Some(reg) => {
+                        let ok = match dir {
+                            AccessDir::Load => reg.readable,
+                            AccessDir::Store => reg.writable,
+                        };
+                        if !ok {
+                            let dirname = match dir {
+                                AccessDir::Load => "write-only",
+                                AccessDir::Store => "read-only",
+                            };
+                            sink.diag(Diagnostic {
+                                severity: Severity::Error,
+                                check: Check::Mmio,
+                                pc,
+                                message: format!(
+                                    "{verb} {} (offset 0x{off:02x}), but that \
+                                     register is {dirname}",
+                                    reg.name
+                                ),
+                                path: Vec::new(),
+                            });
+                        }
+                    }
+                }
+                0
+            }
+            Where::Imem => {
+                if dir == AccessDir::Store {
+                    sink.diag(Diagnostic {
+                        severity: Severity::Warning,
+                        check: Check::Region,
+                        pc,
+                        message: format!(
+                            "{verb} 0x{addr:08x} rewrites instruction memory \
+                             (self-modifying code invalidates the decode cache)"
+                        ),
+                        path: Vec::new(),
+                    });
+                }
+                0
+            }
+            Where::Nowhere => {
+                sink.diag(Diagnostic {
+                    severity: Severity::Error,
+                    check: Check::Region,
+                    pc,
+                    message: format!(
+                        "{verb} 0x{addr:08x} hits no mapped region (bus fault at \
+                         runtime)"
+                    ),
+                    path: Vec::new(),
+                });
+                0
+            }
+        }
+    }
+
+    /// Longest acyclic path + per-loop iteration bounds from `entry`.
+    fn entry_wcet(
+        &self,
+        entry: u32,
+        blocks: &BTreeMap<u32, Block>,
+        facts: &BTreeMap<u32, BlockFacts>,
+        labels: &BTreeMap<u32, String>,
+    ) -> Option<EntryWcet> {
+        blocks.get(&entry)?;
+        // DFS from the entry classifying back edges (u -> v with v on the
+        // DFS stack). Firmware CFGs here are reducible; anything stranger
+        // still terminates because back edges are removed below.
+        let mut on_stack: BTreeSet<u32> = BTreeSet::new();
+        let mut visited: BTreeSet<u32> = BTreeSet::new();
+        let mut back_edges: Vec<(u32, u32)> = Vec::new();
+        // Iterative DFS with explicit post-visit events.
+        let mut stack: Vec<(u32, usize)> = vec![(entry, 0)];
+        visited.insert(entry);
+        on_stack.insert(entry);
+        while let Some(&mut (at, ref mut next)) = stack.last_mut() {
+            let succs = &blocks[&at].succs;
+            if *next < succs.len() {
+                let (s, _) = succs[*next];
+                *next += 1;
+                if !blocks.contains_key(&s) {
+                    continue;
+                }
+                if on_stack.contains(&s) {
+                    back_edges.push((at, s));
+                } else if visited.insert(s) {
+                    on_stack.insert(s);
+                    stack.push((s, 0));
+                }
+            } else {
+                on_stack.remove(&at);
+                stack.pop();
+            }
+        }
+
+        let body = |b: u32| facts.get(&b).map(|f| f.body_cycles).unwrap_or(0);
+        let is_back = |u: u32, v: u32| back_edges.iter().any(|&(a, b)| (a, b) == (u, v));
+
+        // Longest path over the forward (acyclic) subgraph.
+        let order = topo_order(blocks, &visited, &is_back);
+        let mut dist: BTreeMap<u32, u64> = BTreeMap::new();
+        dist.insert(entry, 0);
+        let mut best = 0u64;
+        for &at in &order {
+            let Some(&d) = dist.get(&at) else { continue };
+            let here = d + body(at);
+            let term = blocks[&at]
+                .succs
+                .iter()
+                .map(|&(_, c)| u64::from(c))
+                .max()
+                .unwrap_or(0);
+            best = best.max(here + term);
+            for &(s, c) in &blocks[&at].succs {
+                if is_back(at, s) || !blocks.contains_key(&s) {
+                    continue;
+                }
+                let cand = here + u64::from(c);
+                let e = dist.entry(s).or_insert(cand);
+                *e = (*e).max(cand);
+            }
+        }
+
+        // Per-loop bound: for each back edge u -> h, the worst path from h
+        // to u inside the natural loop, plus the back edge itself.
+        let mut loop_bounds: BTreeMap<u32, u64> = BTreeMap::new();
+        for &(u, h) in &back_edges {
+            let members = natural_loop(blocks, u, h);
+            let sub_order: Vec<u32> = order
+                .iter()
+                .copied()
+                .filter(|b| members.contains(b))
+                .collect();
+            let mut d: BTreeMap<u32, u64> = BTreeMap::new();
+            d.insert(h, 0);
+            for &at in &sub_order {
+                let Some(&da) = d.get(&at) else { continue };
+                for &(s, c) in &blocks[&at].succs {
+                    if is_back(at, s) || !members.contains(&s) {
+                        continue;
+                    }
+                    let cand = da + body(at) + u64::from(c);
+                    let e = d.entry(s).or_insert(cand);
+                    *e = (*e).max(cand);
+                }
+            }
+            let edge_cost = blocks[&u]
+                .succs
+                .iter()
+                .find(|&&(s, _)| s == h)
+                .map(|&(_, c)| u64::from(c))
+                .unwrap_or(0);
+            if let Some(&du) = d.get(&u) {
+                let iter = du + body(u) + edge_cost;
+                let e = loop_bounds.entry(h).or_insert(iter);
+                *e = (*e).max(iter);
+            }
+        }
+
+        Some(EntryWcet {
+            entry,
+            label: labels.get(&entry).cloned(),
+            acyclic_cycles: best,
+            loops: loop_bounds
+                .into_iter()
+                .map(|(header, cycles_per_iter)| LoopBound {
+                    header,
+                    label: labels.get(&header).cloned(),
+                    cycles_per_iter,
+                })
+                .collect(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessDir {
+    Load,
+    Store,
+}
+
+fn access_bytes_load(op: LoadOp) -> u32 {
+    match op {
+        LoadOp::Lb | LoadOp::Lbu => 1,
+        LoadOp::Lh | LoadOp::Lhu => 2,
+        LoadOp::Lw => 4,
+    }
+}
+
+fn access_bytes_store(op: StoreOp) -> u32 {
+    match op {
+        StoreOp::Sb => 1,
+        StoreOp::Sh => 2,
+        StoreOp::Sw => 4,
+    }
+}
+
+/// Facts the final interpretation pass records per block.
+#[derive(Debug, Clone, Default)]
+struct BlockFacts {
+    /// Worst-case cycles for the block body (terminator edges excluded).
+    body_cycles: u64,
+    /// Whether the block pets the watchdog or sleeps.
+    pets: bool,
+    /// Constant trap vectors installed in this block.
+    trap_vectors: Vec<u32>,
+}
+
+/// Receives findings from [`Analyzer::exec_block`]. The fixpoint pass uses
+/// [`NoSink`]; the reporting pass uses [`DiagSink`].
+trait Sink: SinkDyn {
+    fn cost(&mut self, cycles: u64);
+    fn pets(&mut self);
+    fn trap_vector(&mut self, pc: u32);
+}
+
+/// Object-safe subset for closures that only emit diagnostics.
+trait SinkDyn {
+    fn diag(&mut self, d: Diagnostic);
+}
+
+struct NoSink;
+impl SinkDyn for NoSink {
+    fn diag(&mut self, _d: Diagnostic) {}
+}
+impl Sink for NoSink {
+    fn cost(&mut self, _cycles: u64) {}
+    fn pets(&mut self) {}
+    fn trap_vector(&mut self, _pc: u32) {}
+}
+
+struct DiagSink {
+    diags: Vec<Diagnostic>,
+    facts: BlockFacts,
+}
+impl SinkDyn for DiagSink {
+    fn diag(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+}
+impl Sink for DiagSink {
+    fn cost(&mut self, cycles: u64) {
+        self.facts.body_cycles += cycles;
+    }
+    fn pets(&mut self) {
+        self.facts.pets = true;
+    }
+    fn trap_vector(&mut self, pc: u32) {
+        self.facts.trap_vectors.push(pc);
+    }
+}
+
+struct RawReport {
+    diagnostics: Vec<Diagnostic>,
+    wcet: Vec<EntryWcet>,
+    trap_vectors: Vec<u32>,
+}
+
+fn decode_at(dc: &mut DecodeCache, pc: u32) -> Option<Instr> {
+    if dc.covers(pc) {
+        dc.get(pc)
+    } else {
+        None
+    }
+}
+
+fn target_ok(dc: &DecodeCache, t: u32) -> bool {
+    t.is_multiple_of(4) && dc.covers(t)
+}
+
+fn word_at(image: &Image, pc: u32) -> Option<u32> {
+    let off = pc.checked_sub(image.base())? / 4;
+    image.words().get(off as usize).copied()
+}
+
+/// Lowest-named label per address, for stable human-readable reports.
+fn label_map(image: &Image) -> BTreeMap<u32, String> {
+    let mut map: BTreeMap<u32, String> = BTreeMap::new();
+    for (name, addr) in image.symbols() {
+        match map.entry(addr) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(name.to_string());
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                if name < o.get().as_str() {
+                    o.insert(name.to_string());
+                }
+            }
+        }
+    }
+    map
+}
+
+fn reg_name(r: Reg) -> String {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
+    ];
+    NAMES
+        .get(r.0 as usize)
+        .map(|n| format!("{n} (x{})", r.0))
+        .unwrap_or_else(|| format!("x{}", r.0))
+}
+
+/// Shortest path (by block count) from any entry to `target`, as a list of
+/// block-start PCs. Used as the diagnostic path witness.
+fn bfs_path(
+    blocks: &BTreeMap<u32, Block>,
+    entries: impl Iterator<Item = u32>,
+    target: u32,
+) -> Vec<u32> {
+    let mut pred: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for e in entries {
+        if seen.insert(e) {
+            queue.push_back(e);
+        }
+    }
+    let roots = seen.clone();
+    while let Some(at) = queue.pop_front() {
+        if at == target {
+            let mut path = vec![at];
+            let mut cur = at;
+            while let Some(&p) = pred.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return path;
+        }
+        let Some(block) = blocks.get(&at) else {
+            continue;
+        };
+        for &(s, _) in &block.succs {
+            if seen.insert(s) && !roots.contains(&s) {
+                pred.insert(s, at);
+                queue.push_back(s);
+            } else if !pred.contains_key(&s) && seen.insert(s) {
+                queue.push_back(s);
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Strongly connected components (iterative Tarjan), in discovery order.
+fn sccs(blocks: &BTreeMap<u32, Block>) -> Vec<Vec<u32>> {
+    #[derive(Default, Clone)]
+    struct Node {
+        index: Option<u32>,
+        lowlink: u32,
+        on_stack: bool,
+    }
+    let mut nodes: BTreeMap<u32, Node> = blocks.keys().map(|&k| (k, Node::default())).collect();
+    let mut index = 0u32;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    for &root in blocks.keys() {
+        if nodes[&root].index.is_some() {
+            continue;
+        }
+        // (block, next successor slot) call stack.
+        let mut call: Vec<(u32, usize)> = vec![(root, 0)];
+        while let Some(&mut (at, ref mut next)) = call.last_mut() {
+            if *next == 0 {
+                let n = nodes.get_mut(&at).unwrap();
+                n.index = Some(index);
+                n.lowlink = index;
+                n.on_stack = true;
+                index += 1;
+                stack.push(at);
+            }
+            let succs = &blocks[&at].succs;
+            if *next < succs.len() {
+                let (s, _) = succs[*next];
+                *next += 1;
+                if !blocks.contains_key(&s) {
+                    continue;
+                }
+                match nodes[&s].index {
+                    None => call.push((s, 0)),
+                    Some(si) => {
+                        if nodes[&s].on_stack {
+                            let low = nodes[&at].lowlink.min(si);
+                            nodes.get_mut(&at).unwrap().lowlink = low;
+                        }
+                    }
+                }
+            } else {
+                let at_low = nodes[&at].lowlink;
+                if nodes[&at].index == Some(at_low) {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        nodes.get_mut(&w).unwrap().on_stack = false;
+                        comp.push(w);
+                        if w == at {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    let low = nodes[&parent].lowlink.min(at_low);
+                    nodes.get_mut(&parent).unwrap().lowlink = low;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Finds any cycle whose nodes all lie in `allowed`, returned as the cycle's
+/// block PCs starting at its smallest member. `None` if the subgraph is
+/// acyclic — i.e. every loop path contains a petting block.
+fn find_cycle(blocks: &BTreeMap<u32, Block>, allowed: &BTreeSet<u32>) -> Option<Vec<u32>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        New,
+        Active,
+        Done,
+    }
+    let mut marks: BTreeMap<u32, Mark> = allowed.iter().map(|&b| (b, Mark::New)).collect();
+    for &root in allowed {
+        if marks[&root] != Mark::New {
+            continue;
+        }
+        let mut path: Vec<(u32, usize)> = vec![(root, 0)];
+        marks.insert(root, Mark::Active);
+        while let Some(&mut (at, ref mut next)) = path.last_mut() {
+            let succs = &blocks[&at].succs;
+            if *next < succs.len() {
+                let (s, _) = succs[*next];
+                *next += 1;
+                if !allowed.contains(&s) {
+                    continue;
+                }
+                match marks[&s] {
+                    Mark::Active => {
+                        // Found: unwind the explicit stack back to `s`.
+                        let mut cycle: Vec<u32> = path.iter().map(|&(b, _)| b).collect();
+                        let start = cycle.iter().position(|&b| b == s).unwrap();
+                        cycle.drain(..start);
+                        let min = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, b)| b)
+                            .map(|(i, _)| i)
+                            .unwrap();
+                        cycle.rotate_left(min);
+                        return Some(cycle);
+                    }
+                    Mark::New => {
+                        marks.insert(s, Mark::Active);
+                        path.push((s, 0));
+                    }
+                    Mark::Done => {}
+                }
+            } else {
+                marks.insert(at, Mark::Done);
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Topological order of `visited` blocks over forward edges.
+fn topo_order(
+    blocks: &BTreeMap<u32, Block>,
+    visited: &BTreeSet<u32>,
+    is_back: &dyn Fn(u32, u32) -> bool,
+) -> Vec<u32> {
+    let mut indeg: BTreeMap<u32, usize> = visited.iter().map(|&b| (b, 0)).collect();
+    for &b in visited {
+        for &(s, _) in &blocks[&b].succs {
+            if visited.contains(&s) && !is_back(b, s) {
+                *indeg.get_mut(&s).unwrap() += 1;
+            }
+        }
+    }
+    let mut queue: VecDeque<u32> = indeg
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&b, _)| b)
+        .collect();
+    let mut order = Vec::with_capacity(visited.len());
+    while let Some(at) = queue.pop_front() {
+        order.push(at);
+        for &(s, _) in &blocks[&at].succs {
+            if visited.contains(&s) && !is_back(at, s) {
+                let d = indeg.get_mut(&s).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Natural loop of back edge `u -> h`: `h` plus everything that reaches `u`
+/// without passing through `h`.
+fn natural_loop(blocks: &BTreeMap<u32, Block>, u: u32, h: u32) -> BTreeSet<u32> {
+    let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (&b, block) in blocks {
+        for &(s, _) in &block.succs {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    let mut members: BTreeSet<u32> = BTreeSet::new();
+    members.insert(h);
+    members.insert(u);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    if u != h {
+        queue.push_back(u);
+    }
+    while let Some(at) = queue.pop_front() {
+        for &p in preds.get(&at).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if members.insert(p) {
+                queue.push_back(p);
+            }
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::cpu::{Cpu, RamBus, StepResult};
+
+    fn bare() -> Analyzer {
+        Analyzer::new(MachineSpec::bare(4096, 65536))
+    }
+
+    /// A miniature RPU-shaped spec for MMIO/watchdog/stack tests.
+    fn devices() -> MachineSpec {
+        MachineSpec {
+            imem_bytes: 4096,
+            dmem: Region {
+                base: 0x0080_0000,
+                bytes: 0x8000,
+            },
+            pmem: Region {
+                base: 0x0100_0000,
+                bytes: 0x10_0000,
+            },
+            io_base: 0x0200_0000,
+            io_window_bytes: 0x100,
+            io_regs: vec![
+                MmioReg {
+                    offset: 0x00,
+                    name: "RECV_READY",
+                    readable: true,
+                    writable: false,
+                },
+                MmioReg {
+                    offset: 0x0c,
+                    name: "RECV_RELEASE",
+                    readable: false,
+                    writable: true,
+                },
+                MmioReg {
+                    offset: 0x40,
+                    name: "TIMER_CMP",
+                    readable: false,
+                    writable: true,
+                },
+            ],
+            accel: Region {
+                base: 0x0300_0000,
+                bytes: 0x100,
+            },
+            bcast: Region {
+                base: 0x0400_0000,
+                bytes: 4096,
+            },
+            watchdog_pet_offset: Some(0x40),
+            stack: Some(Region {
+                base: 0x0080_7000,
+                bytes: 0x1000,
+            }),
+            cost: CostModel::default(),
+            pmem_wait_cycles: 1,
+            accel_read_wait_cycles: 2,
+        }
+    }
+
+    fn check(spec: MachineSpec, asm: &str) -> LintReport {
+        Analyzer::new(spec).check(&assemble(asm).unwrap())
+    }
+
+    fn has(report: &LintReport, check: Check, sev: Severity) -> bool {
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == check && d.severity == sev)
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let r = check(
+            MachineSpec::bare(4096, 65536),
+            "
+                li a0, 3
+                li a1, 4
+                add a2, a0, a1
+                ebreak
+            ",
+        );
+        assert!(r.diagnostics.is_empty(), "{:#?}", r.diagnostics);
+        assert_eq!(r.wcet.len(), 1);
+        // li+li+add+ebreak = 1+1+1+1 under the default cost model.
+        assert_eq!(r.wcet[0].acyclic_cycles, 4);
+    }
+
+    #[test]
+    fn mmio_unknown_register_is_error() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                sw zero, 0x64(t0)
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Mmio, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn mmio_direction_is_checked() {
+        // RECV_READY is read-only; storing to it is an error.
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                sw zero, 0x00(t0)
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Mmio, Severity::Error));
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::Mmio)
+            .unwrap();
+        assert!(d.message.contains("RECV_READY"), "{}", d.message);
+        assert!(d.message.contains("read-only"), "{}", d.message);
+        // Reading a write-only register is the mirror error.
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                lw a0, 0x0c(t0)
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Mmio, Severity::Error));
+        // The legal direction passes.
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                lw a0, 0x00(t0)
+                sw zero, 0x0c(t0)
+                ebreak
+            ",
+        );
+        assert!(!r.has_errors(), "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn watchdog_starving_loop_is_flagged() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+            poll:
+                lw a0, 0x00(t0)
+                beqz a0, poll
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Watchdog, Severity::Warning));
+        // Petting inside the loop clears it.
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                li t1, 1000
+            poll:
+                sw t1, 0x40(t0)
+                lw a0, 0x00(t0)
+                beqz a0, poll
+                ebreak
+            ",
+        );
+        assert!(!has(&r, Check::Watchdog, Severity::Warning));
+        // Sleeping (wfi) also counts as liveness.
+        let r = check(
+            devices(),
+            "
+            park:
+                wfi
+                j park
+            ",
+        );
+        assert!(!has(&r, Check::Watchdog, Severity::Warning));
+    }
+
+    #[test]
+    fn watchdog_flags_inner_loop_that_never_pets() {
+        // The outer loop pets, but the inner drain loop can spin forever.
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                li t1, 1000
+            outer:
+                sw t1, 0x40(t0)
+            inner:
+                lw a0, 0x00(t0)
+                bnez a0, inner
+                j outer
+            ",
+        );
+        assert!(has(&r, Check::Watchdog, Severity::Warning));
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::Watchdog)
+            .unwrap();
+        assert_eq!(d.pc, 16, "should point at the inner loop header");
+    }
+
+    #[test]
+    fn uninitialized_read_is_error() {
+        let r = check(
+            MachineSpec::bare(4096, 65536),
+            "
+                add a0, a1, a2
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Uninit, Severity::Error));
+        // Initialized on only one path: a warning, not an error.
+        let r = check(
+            MachineSpec::bare(4096, 65536),
+            "
+                li a0, 1
+                beqz a0, skip
+                li a1, 2
+            skip:
+                add a2, a1, a0
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Uninit, Severity::Warning));
+        assert!(!has(&r, Check::Uninit, Severity::Error));
+    }
+
+    #[test]
+    fn stack_bounds_are_checked() {
+        // sp points at the stack top; pushing stays inside, an address
+        // above the top (positive offset) is outside the region.
+        let r = check(
+            devices(),
+            "
+                li sp, 0x00808000
+                addi sp, sp, -16
+                sw a0, 0(sp)
+                sw a0, 12(sp)
+                ebreak
+            ",
+        );
+        assert!(
+            !r.diagnostics.iter().any(|d| d.check == Check::Stack),
+            "{:#?}",
+            r.diagnostics
+        );
+        let r = check(
+            devices(),
+            "
+                li sp, 0x00808000
+                sw a0, 0(sp)
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Stack, Severity::Error));
+        // Underflowing the 4 KiB region is also caught.
+        let r = check(
+            devices(),
+            "
+                li sp, 0x00807000
+                sw a0, -4(sp)
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Stack, Severity::Error));
+    }
+
+    #[test]
+    fn illegal_and_dead_code_are_reported() {
+        let r = check(
+            MachineSpec::bare(4096, 65536),
+            "
+                j good
+                .word 0x00000013    # decodes (nop) but nothing reaches it
+            good:
+                .word 0xffffffff    # reachable and does not decode
+            ",
+        );
+        assert!(
+            has(&r, Check::Illegal, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+        assert!(has(&r, Check::Dead, Severity::Warning));
+        // Falling off the end of the image is also illegal.
+        let r = check(MachineSpec::bare(4096, 65536), "nop");
+        assert!(has(&r, Check::Illegal, Severity::Error));
+    }
+
+    #[test]
+    fn region_violation_is_error() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x00700000   # below dmem, above imem: unmapped
+                lw a0, 0(t0)
+                ebreak
+            ",
+        );
+        assert!(has(&r, Check::Region, Severity::Error));
+    }
+
+    #[test]
+    fn diagnostics_carry_a_path_witness() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                li a0, 1
+                beqz a0, other
+                sw zero, 0x00(t0)   # read-only register
+                ebreak
+            other:
+                ebreak
+            ",
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.check == Check::Mmio)
+            .expect("mmio error");
+        assert!(!d.path.is_empty());
+        assert_eq!(d.path[0], 0, "witness starts at the entry block");
+    }
+
+    #[test]
+    fn trap_vector_becomes_an_entry_point() {
+        let r = check(
+            MachineSpec::bare(4096, 65536),
+            "
+                la t0, handler
+                csrw mtvec, t0
+            idle:
+                j idle
+            handler:
+                mret
+            ",
+        );
+        // The handler is not dead, and it gets its own WCET entry.
+        assert!(
+            !has(&r, Check::Dead, Severity::Warning),
+            "{:#?}",
+            r.diagnostics
+        );
+        assert_eq!(r.wcet.len(), 2);
+    }
+
+    #[test]
+    fn wcet_bound_covers_simulated_straight_line() {
+        let src = "
+            li a0, 100
+            li a1, 7
+            add a2, a0, a1
+            sw a2, 0x100(zero)
+            lw a3, 0x100(zero)
+            mul a4, a3, a1
+            ebreak
+        ";
+        let image = assemble(src).unwrap();
+        let report = bare().check(&image);
+        assert!(!report.has_errors());
+        let mut bus = RamBus::new(65536);
+        bus.load_image(0, image.words());
+        let mut cpu = Cpu::new(0);
+        while !matches!(cpu.step(&mut bus), StepResult::Break) {}
+        assert!(
+            report.wcet[0].acyclic_cycles >= cpu.cycles(),
+            "bound {} < measured {}",
+            report.wcet[0].acyclic_cycles,
+            cpu.cycles()
+        );
+    }
+
+    #[test]
+    fn wcet_loop_bound_covers_simulated_loop() {
+        let iters = 37u64;
+        let src = format!(
+            "
+                li a0, 0
+                li a1, {iters}
+            loop:
+                add a0, a0, a1
+                addi a1, a1, -1
+                bnez a1, loop
+                ebreak
+            "
+        );
+        let image = assemble(&src).unwrap();
+        let report = bare().check(&image);
+        let w = &report.wcet[0];
+        assert_eq!(w.loops.len(), 1);
+        let bound = w.acyclic_cycles + (iters - 1) * w.loops[0].cycles_per_iter;
+        let mut bus = RamBus::new(65536);
+        bus.load_image(0, image.words());
+        let mut cpu = Cpu::new(0);
+        while !matches!(cpu.step(&mut bus), StepResult::Break) {}
+        assert!(
+            bound >= cpu.cycles(),
+            "bound {bound} < measured {}",
+            cpu.cycles()
+        );
+    }
+
+    #[test]
+    fn report_renders_stably() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+            poll:
+                lw a0, 0x00(t0)
+                beqz a0, poll
+                ebreak
+            ",
+        );
+        let text = r.render("spin");
+        assert!(text.starts_with("lint report: spin\n"), "{text}");
+        assert!(text.contains("loop 0x00000008 <poll>"), "{text}");
+        assert!(text.contains("warning[watchdog]"), "{text}");
+        assert!(text.trim_end().ends_with("warning(s)"), "{text}");
+    }
+}

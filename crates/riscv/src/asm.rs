@@ -51,20 +51,37 @@ impl Image {
     pub fn symbol(&self, name: &str) -> Option<u32> {
         self.symbols.get(name).copied()
     }
+
+    /// Iterates over every symbol (labels and `.equ` constants) as
+    /// `(name, value)` pairs, in unspecified order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(n, v)| (n.as_str(), *v))
+    }
 }
 
-/// An assembly error with its 1-based source line.
+/// A 1-based source position (line and byte column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column of the statement, label, or directive at fault.
+    pub col: usize,
+}
+
+/// An assembly error with its 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based line number in the source.
     pub line: usize,
+    /// 1-based byte column in the source line.
+    pub col: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -104,27 +121,35 @@ pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
     let mut placed: Vec<(u32, &Statement)> = Vec::new();
     for stmt in &statements {
         for label in &stmt.labels {
-            if symbols.insert(label.clone(), pc).is_some() {
-                return Err(err(stmt.line, format!("duplicate label `{label}`")));
+            if symbols.insert(label.name.clone(), pc).is_some() {
+                return Err(err(label.pos, format!("duplicate label `{}`", label.name)));
             }
         }
         match &stmt.body {
             Body::Equ(name, expr) => {
                 // `.equ` values may only reference already-defined symbols.
-                let value = eval(expr, &symbols, stmt.line)?;
-                symbols.insert(name.clone(), value as u32);
+                let value = eval(expr, &symbols, stmt.pos)?;
+                if symbols.insert(name.clone(), value as u32).is_some() {
+                    // A silent last-write-wins here once let two firmware
+                    // constants shadow each other; reject it exactly like a
+                    // duplicate label.
+                    return Err(err(
+                        stmt.pos,
+                        format!("`.equ {name}` redefines an existing symbol"),
+                    ));
+                }
             }
             Body::Org(expr) => {
-                let target = eval(expr, &symbols, stmt.line)? as u32;
+                let target = eval(expr, &symbols, stmt.pos)? as u32;
                 if target < pc {
-                    return Err(err(stmt.line, format!(".org 0x{target:x} moves backwards")));
+                    return Err(err(stmt.pos, format!(".org 0x{target:x} moves backwards")));
                 }
                 pc = target;
             }
             Body::None => {}
             body => {
                 placed.push((pc, stmt));
-                pc += body_size(body, stmt.line)?;
+                pc += body_size(body, stmt.pos)?;
             }
         }
     }
@@ -153,32 +178,38 @@ pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
     for (addr, stmt) in placed {
         match &stmt.body {
             Body::Instr(mnemonic, operands) => {
-                let instrs = lower(mnemonic, operands, addr, &symbols, stmt.line)?;
+                let instrs = lower(mnemonic, operands, addr, &symbols, stmt.pos)?;
                 for (i, instr) in instrs.iter().enumerate() {
-                    let word = encode(*instr).map_err(|e| err(stmt.line, e.to_string()))?;
+                    let word = encode(*instr).map_err(|e| err(stmt.pos, e.to_string()))?;
                     emit_at(&mut words, addr + (i as u32) * 4, word);
                 }
             }
             Body::Word(exprs) => {
                 for (i, expr) in exprs.iter().enumerate() {
-                    let value = eval(expr, &symbols, stmt.line)? as u32;
+                    let value = eval(expr, &symbols, stmt.pos)? as u32;
                     emit_at(&mut words, addr + (i as u32) * 4, value);
                 }
             }
             Body::Data(unit, exprs) => {
                 let mut bytes = Vec::with_capacity(exprs.len() * *unit as usize);
                 for expr in exprs {
-                    let value = eval(expr, &symbols, stmt.line)?;
+                    let value = eval(expr, &symbols, stmt.pos)?;
                     match unit {
                         1 => {
                             if !(-128..256).contains(&value) {
-                                return Err(err(stmt.line, format!("byte value {value} out of range")));
+                                return Err(err(
+                                    stmt.pos,
+                                    format!("byte value {value} out of range"),
+                                ));
                             }
                             bytes.push(value as u8);
                         }
                         _ => {
                             if !(-32768..65536).contains(&value) {
-                                return Err(err(stmt.line, format!("half value {value} out of range")));
+                                return Err(err(
+                                    stmt.pos,
+                                    format!("half value {value} out of range"),
+                                ));
                             }
                             bytes.extend_from_slice(&(value as u16).to_le_bytes());
                         }
@@ -212,17 +243,24 @@ pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
     })
 }
 
-fn err(line: usize, message: impl Into<String>) -> AsmError {
+fn err(pos: Pos, message: impl Into<String>) -> AsmError {
     AsmError {
-        line,
+        line: pos.line,
+        col: pos.col,
         message: message.into(),
     }
 }
 
 #[derive(Debug, Clone)]
+struct Label {
+    name: String,
+    pos: Pos,
+}
+
+#[derive(Debug, Clone)]
 struct Statement {
-    line: usize,
-    labels: Vec<String>,
+    pos: Pos,
+    labels: Vec<Label>,
     body: Body,
 }
 
@@ -248,31 +286,54 @@ enum Expr {
 }
 
 fn parse(source: &str) -> Result<Vec<Statement>, AsmError> {
+    // Skips ASCII whitespace within `raw[from..to]`, returning the new start.
+    fn eat_ws(raw: &str, mut from: usize, to: usize) -> usize {
+        while from < to && raw.as_bytes()[from].is_ascii_whitespace() {
+            from += 1;
+        }
+        from
+    }
+
     let mut statements = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
         let line = idx + 1;
-        let mut text = raw;
-        if let Some(at) = text.find('#') {
-            text = &text[..at];
+        // Byte range of the effective text once comments are stripped;
+        // columns index into the *raw* line so diagnostics stay accurate.
+        let mut end = raw.len();
+        if let Some(at) = raw.find('#') {
+            end = end.min(at);
         }
-        if let Some(at) = text.find("//") {
-            text = &text[..at];
+        if let Some(at) = raw.find("//") {
+            end = end.min(at);
         }
-        let mut text = text.trim();
+        while end > 0 && raw.as_bytes()[end - 1].is_ascii_whitespace() {
+            end -= 1;
+        }
+        let mut start = eat_ws(raw, 0, end);
         let mut labels = Vec::new();
-        while let Some(colon) = text.find(':') {
-            let (head, tail) = text.split_at(colon);
-            let head = head.trim();
+        while let Some(colon) = raw[start..end].find(':') {
+            let head = raw[start..start + colon].trim_end();
             if head.is_empty() || !is_ident(head) {
                 break;
             }
-            labels.push(head.to_string());
-            text = tail[1..].trim();
+            labels.push(Label {
+                name: head.to_string(),
+                pos: Pos {
+                    line,
+                    col: start + 1,
+                },
+            });
+            start = eat_ws(raw, start + colon + 1, end);
         }
+        let pos = Pos {
+            line,
+            col: start + 1,
+        };
+        let text = &raw[start..end];
         let body = if text.is_empty() {
             Body::None
         } else if let Some(rest) = text.strip_prefix('.') {
-            parse_directive(rest, line)?
+            parse_directive(rest, pos)?
         } else {
             let (mnemonic, rest) = match text.find(char::is_whitespace) {
                 Some(at) => (&text[..at], text[at..].trim()),
@@ -282,13 +343,13 @@ fn parse(source: &str) -> Result<Vec<Statement>, AsmError> {
             Body::Instr(mnemonic.to_ascii_lowercase(), operands)
         };
         if !labels.is_empty() || !matches!(body, Body::None) {
-            statements.push(Statement { line, labels, body });
+            statements.push(Statement { pos, labels, body });
         }
     }
     Ok(statements)
 }
 
-fn parse_directive(rest: &str, line: usize) -> Result<Body, AsmError> {
+fn parse_directive(rest: &str, pos: Pos) -> Result<Body, AsmError> {
     let (name, args) = match rest.find(char::is_whitespace) {
         Some(at) => (&rest[..at], rest[at..].trim()),
         None => (rest, ""),
@@ -297,10 +358,10 @@ fn parse_directive(rest: &str, line: usize) -> Result<Body, AsmError> {
         "word" => {
             let exprs = split_operands(args)
                 .iter()
-                .map(|a| parse_expr(a, line))
+                .map(|a| parse_expr(a, pos))
                 .collect::<Result<Vec<_>, _>>()?;
             if exprs.is_empty() {
-                return Err(err(line, ".word needs at least one value"));
+                return Err(err(pos, ".word needs at least one value"));
             }
             Ok(Body::Word(exprs))
         }
@@ -308,10 +369,10 @@ fn parse_directive(rest: &str, line: usize) -> Result<Body, AsmError> {
             let unit = if name == "byte" { 1 } else { 2 };
             let exprs = split_operands(args)
                 .iter()
-                .map(|a| parse_expr(a, line))
+                .map(|a| parse_expr(a, pos))
                 .collect::<Result<Vec<_>, _>>()?;
             if exprs.is_empty() {
-                return Err(err(line, format!(".{name} needs at least one value")));
+                return Err(err(pos, format!(".{name} needs at least one value")));
             }
             Ok(Body::Data(unit, exprs))
         }
@@ -320,7 +381,7 @@ fn parse_directive(rest: &str, line: usize) -> Result<Body, AsmError> {
             let inner = text
                 .strip_prefix('"')
                 .and_then(|t| t.strip_suffix('"'))
-                .ok_or_else(|| err(line, format!(".{name} needs a quoted string")))?;
+                .ok_or_else(|| err(pos, format!(".{name} needs a quoted string")))?;
             let mut bytes = Vec::with_capacity(inner.len() + 1);
             let mut chars = inner.chars();
             while let Some(c) = chars.next() {
@@ -332,7 +393,7 @@ fn parse_directive(rest: &str, line: usize) -> Result<Body, AsmError> {
                         Some('\\') => bytes.push(b'\\'),
                         Some('"') => bytes.push(b'"'),
                         other => {
-                            return Err(err(line, format!("bad escape \\{other:?}")));
+                            return Err(err(pos, format!("bad escape \\{other:?}")));
                         }
                     }
                 } else {
@@ -348,24 +409,24 @@ fn parse_directive(rest: &str, line: usize) -> Result<Body, AsmError> {
         "space" => {
             let n: u32 = args
                 .parse()
-                .map_err(|_| err(line, format!("bad .space size `{args}`")))?;
+                .map_err(|_| err(pos, format!("bad .space size `{args}`")))?;
             Ok(Body::Space(n.div_ceil(4) * 4))
         }
         "align" => {
             let n: u32 = args
                 .parse()
-                .map_err(|_| err(line, format!("bad .align value `{args}`")))?;
+                .map_err(|_| err(pos, format!("bad .align value `{args}`")))?;
             Ok(Body::Align(n))
         }
         "equ" => {
             let parts = split_operands(args);
             if parts.len() != 2 {
-                return Err(err(line, ".equ needs `name, value`"));
+                return Err(err(pos, ".equ needs `name, value`"));
             }
-            Ok(Body::Equ(parts[0].clone(), parse_expr(&parts[1], line)?))
+            Ok(Body::Equ(parts[0].clone(), parse_expr(&parts[1], pos)?))
         }
-        "org" => Ok(Body::Org(parse_expr(args, line)?)),
-        other => Err(err(line, format!("unknown directive .{other}"))),
+        "org" => Ok(Body::Org(parse_expr(args, pos)?)),
+        other => Err(err(pos, format!("unknown directive .{other}"))),
     }
 }
 
@@ -383,7 +444,7 @@ fn split_operands(s: &str) -> Vec<String> {
     s.split(',').map(|p| p.trim().to_string()).collect()
 }
 
-fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
+fn parse_expr(s: &str, pos: Pos) -> Result<Expr, AsmError> {
     let s = s.trim();
     if let Some(value) = parse_int(s) {
         return Ok(Expr::Lit(value));
@@ -409,7 +470,7 @@ fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
     if is_ident(s) {
         return Ok(Expr::Sym(s.to_string(), 0));
     }
-    Err(err(line, format!("cannot parse expression `{s}`")))
+    Err(err(pos, format!("cannot parse expression `{s}`")))
 }
 
 fn parse_int(s: &str) -> Option<i64> {
@@ -430,17 +491,17 @@ fn parse_int(s: &str) -> Option<i64> {
     Some(if neg { -value } else { value })
 }
 
-fn eval(expr: &Expr, symbols: &HashMap<String, u32>, line: usize) -> Result<i64, AsmError> {
+fn eval(expr: &Expr, symbols: &HashMap<String, u32>, pos: Pos) -> Result<i64, AsmError> {
     match expr {
         Expr::Lit(v) => Ok(*v),
         Expr::Sym(name, offset) => symbols
             .get(name)
             .map(|v| i64::from(*v) + offset)
-            .ok_or_else(|| err(line, format!("undefined symbol `{name}`"))),
+            .ok_or_else(|| err(pos, format!("undefined symbol `{name}`"))),
     }
 }
 
-fn body_size(body: &Body, line: usize) -> Result<u32, AsmError> {
+fn body_size(body: &Body, pos: Pos) -> Result<u32, AsmError> {
     Ok(match body {
         Body::Instr(mnemonic, operands) => instr_size(mnemonic, operands),
         Body::Word(exprs) => (exprs.len() * 4) as u32,
@@ -449,7 +510,7 @@ fn body_size(body: &Body, line: usize) -> Result<u32, AsmError> {
         Body::Space(bytes) => *bytes,
         Body::Align(_) => 0, // everything is word aligned already
         Body::Equ(..) | Body::Org(..) | Body::None => {
-            return Err(err(line, "internal: unsized body"))
+            return Err(err(pos, "internal: unsized body"))
         }
     })
 }
@@ -471,23 +532,23 @@ fn instr_size(mnemonic: &str, operands: &[String]) -> u32 {
     }
 }
 
-fn reg_op(operands: &[String], idx: usize, line: usize) -> Result<Reg, AsmError> {
+fn reg_op(operands: &[String], idx: usize, pos: Pos) -> Result<Reg, AsmError> {
     let name = operands
         .get(idx)
-        .ok_or_else(|| err(line, format!("missing operand {idx}")))?;
-    Reg::parse(name).ok_or_else(|| err(line, format!("bad register `{name}`")))
+        .ok_or_else(|| err(pos, format!("missing operand {idx}")))?;
+    Reg::parse(name).ok_or_else(|| err(pos, format!("bad register `{name}`")))
 }
 
 fn imm_op(
     operands: &[String],
     idx: usize,
     symbols: &HashMap<String, u32>,
-    line: usize,
+    pos: Pos,
 ) -> Result<i64, AsmError> {
     let text = operands
         .get(idx)
-        .ok_or_else(|| err(line, format!("missing operand {idx}")))?;
-    eval(&parse_expr(text, line)?, symbols, line)
+        .ok_or_else(|| err(pos, format!("missing operand {idx}")))?;
+    eval(&parse_expr(text, pos)?, symbols, pos)
 }
 
 /// Parses `imm(rs)` memory-operand syntax.
@@ -495,48 +556,48 @@ fn mem_op(
     operands: &[String],
     idx: usize,
     symbols: &HashMap<String, u32>,
-    line: usize,
+    pos: Pos,
 ) -> Result<(Reg, i32), AsmError> {
     let text = operands
         .get(idx)
-        .ok_or_else(|| err(line, format!("missing operand {idx}")))?;
+        .ok_or_else(|| err(pos, format!("missing operand {idx}")))?;
     let open = text
         .find('(')
-        .ok_or_else(|| err(line, format!("expected `imm(reg)`, got `{text}`")))?;
+        .ok_or_else(|| err(pos, format!("expected `imm(reg)`, got `{text}`")))?;
     let close = text
         .rfind(')')
-        .ok_or_else(|| err(line, format!("unclosed `(` in `{text}`")))?;
+        .ok_or_else(|| err(pos, format!("unclosed `(` in `{text}`")))?;
     let imm_text = text[..open].trim();
     let imm = if imm_text.is_empty() {
         0
     } else {
-        eval(&parse_expr(imm_text, line)?, symbols, line)?
+        eval(&parse_expr(imm_text, pos)?, symbols, pos)?
     };
     if !(-2048..2048).contains(&imm) {
-        return Err(err(line, format!("memory offset {imm} out of range")));
+        return Err(err(pos, format!("memory offset {imm} out of range")));
     }
     let reg = Reg::parse(text[open + 1..close].trim())
-        .ok_or_else(|| err(line, format!("bad register in `{text}`")))?;
+        .ok_or_else(|| err(pos, format!("bad register in `{text}`")))?;
     Ok((reg, imm as i32))
 }
 
-fn branch_imm(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
+fn branch_imm(target: i64, pc: u32, pos: Pos) -> Result<i32, AsmError> {
     let delta = target - i64::from(pc);
     if !(-4096..4096).contains(&delta) || delta % 2 != 0 {
-        return Err(err(line, format!("branch target out of range ({delta})")));
+        return Err(err(pos, format!("branch target out of range ({delta})")));
     }
     Ok(delta as i32)
 }
 
-fn jump_imm(target: i64, pc: u32, line: usize) -> Result<i32, AsmError> {
+fn jump_imm(target: i64, pc: u32, pos: Pos) -> Result<i32, AsmError> {
     let delta = target - i64::from(pc);
     if !(-(1 << 20)..(1 << 20)).contains(&delta) || delta % 2 != 0 {
-        return Err(err(line, format!("jump target out of range ({delta})")));
+        return Err(err(pos, format!("jump target out of range ({delta})")));
     }
     Ok(delta as i32)
 }
 
-fn csr_number(name: &str, line: usize) -> Result<u16, AsmError> {
+fn csr_number(name: &str, pos: Pos) -> Result<u16, AsmError> {
     if let Some(v) = parse_int(name) {
         if (0..4096).contains(&v) {
             return Ok(v as u16);
@@ -553,13 +614,13 @@ fn csr_number(name: &str, line: usize) -> Result<u16, AsmError> {
         "mcycle" => 0xb00,
         "mcycleh" => 0xb80,
         "minstret" => 0xb02,
-        other => return Err(err(line, format!("unknown CSR `{other}`"))),
+        other => return Err(err(pos, format!("unknown CSR `{other}`"))),
     })
 }
 
-fn check_i_imm(imm: i64, line: usize) -> Result<i32, AsmError> {
+fn check_i_imm(imm: i64, pos: Pos) -> Result<i32, AsmError> {
     if !(-2048..2048).contains(&imm) {
-        return Err(err(line, format!("immediate {imm} out of 12-bit range")));
+        return Err(err(pos, format!("immediate {imm} out of 12-bit range")));
     }
     Ok(imm as i32)
 }
@@ -569,7 +630,7 @@ fn lower(
     operands: &[String],
     pc: u32,
     symbols: &HashMap<String, u32>,
-    line: usize,
+    pos: Pos,
 ) -> Result<Vec<Instr>, AsmError> {
     use Instr::*;
     let ops = operands;
@@ -577,77 +638,77 @@ fn lower(
     let alu_imm = |op: AluOp| -> Result<Vec<Instr>, AsmError> {
         Ok(vec![OpImm {
             op,
-            rd: reg_op(ops, 0, line)?,
-            rs1: reg_op(ops, 1, line)?,
-            imm: check_i_imm(imm_op(ops, 2, symbols, line)?, line)?,
+            rd: reg_op(ops, 0, pos)?,
+            rs1: reg_op(ops, 1, pos)?,
+            imm: check_i_imm(imm_op(ops, 2, symbols, pos)?, pos)?,
         }])
     };
     let shift_imm = |op: AluOp| -> Result<Vec<Instr>, AsmError> {
-        let amount = imm_op(ops, 2, symbols, line)?;
+        let amount = imm_op(ops, 2, symbols, pos)?;
         if !(0..32).contains(&amount) {
-            return Err(err(line, format!("shift amount {amount} out of range")));
+            return Err(err(pos, format!("shift amount {amount} out of range")));
         }
         Ok(vec![OpImm {
             op,
-            rd: reg_op(ops, 0, line)?,
-            rs1: reg_op(ops, 1, line)?,
+            rd: reg_op(ops, 0, pos)?,
+            rs1: reg_op(ops, 1, pos)?,
             imm: amount as i32,
         }])
     };
     let alu_reg = |op: AluOp| -> Result<Vec<Instr>, AsmError> {
         Ok(vec![Op {
             op,
-            rd: reg_op(ops, 0, line)?,
-            rs1: reg_op(ops, 1, line)?,
-            rs2: reg_op(ops, 2, line)?,
+            rd: reg_op(ops, 0, pos)?,
+            rs1: reg_op(ops, 1, pos)?,
+            rs2: reg_op(ops, 2, pos)?,
         }])
     };
     let mul_reg = |op: MulOp| -> Result<Vec<Instr>, AsmError> {
         Ok(vec![MulDiv {
             op,
-            rd: reg_op(ops, 0, line)?,
-            rs1: reg_op(ops, 1, line)?,
-            rs2: reg_op(ops, 2, line)?,
+            rd: reg_op(ops, 0, pos)?,
+            rs1: reg_op(ops, 1, pos)?,
+            rs2: reg_op(ops, 2, pos)?,
         }])
     };
     let load = |op: LoadOp| -> Result<Vec<Instr>, AsmError> {
-        let (rs1, imm) = mem_op(ops, 1, symbols, line)?;
+        let (rs1, imm) = mem_op(ops, 1, symbols, pos)?;
         Ok(vec![Load {
             op,
-            rd: reg_op(ops, 0, line)?,
+            rd: reg_op(ops, 0, pos)?,
             rs1,
             imm,
         }])
     };
     let store = |op: StoreOp| -> Result<Vec<Instr>, AsmError> {
-        let (rs1, imm) = mem_op(ops, 1, symbols, line)?;
+        let (rs1, imm) = mem_op(ops, 1, symbols, pos)?;
         Ok(vec![Store {
             op,
             rs1,
-            rs2: reg_op(ops, 0, line)?,
+            rs2: reg_op(ops, 0, pos)?,
             imm,
         }])
     };
     let branch = |op: BranchOp, swap: bool| -> Result<Vec<Instr>, AsmError> {
-        let (a, b) = (reg_op(ops, 0, line)?, reg_op(ops, 1, line)?);
+        let (a, b) = (reg_op(ops, 0, pos)?, reg_op(ops, 1, pos)?);
         let (rs1, rs2) = if swap { (b, a) } else { (a, b) };
-        let target = imm_op(ops, 2, symbols, line)?;
+        let target = imm_op(ops, 2, symbols, pos)?;
         Ok(vec![Branch {
             op,
             rs1,
             rs2,
-            imm: branch_imm(target, pc, line)?,
+            imm: branch_imm(target, pc, pos)?,
         }])
     };
     let branch_zero = |op: BranchOp, swap: bool| -> Result<Vec<Instr>, AsmError> {
-        let r = reg_op(ops, 0, line)?;
+        let r = reg_op(ops, 0, pos)?;
         let (rs1, rs2) = if swap { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
-        let target = imm_op(ops, 1, symbols, line)?;
+        let target = imm_op(ops, 1, symbols, pos)?;
         Ok(vec![Branch {
             op,
             rs1,
             rs2,
-            imm: branch_imm(target, pc, line)?,
+            imm: branch_imm(target, pc, pos)?,
         }])
     };
     let li_expand = |rd: Reg, value: i64| -> Result<Vec<Instr>, AsmError> {
@@ -674,20 +735,25 @@ fn lower(
             ])
         }
     };
-    let csr_instr = |op: CsrOp, rd: Reg, csr_idx: usize, src_idx: usize, imm_form: bool| -> Result<Vec<Instr>, AsmError> {
+    let csr_instr = |op: CsrOp,
+                     rd: Reg,
+                     csr_idx: usize,
+                     src_idx: usize,
+                     imm_form: bool|
+     -> Result<Vec<Instr>, AsmError> {
         let csr = csr_number(
             ops.get(csr_idx)
-                .ok_or_else(|| err(line, "missing CSR operand"))?,
-            line,
+                .ok_or_else(|| err(pos, "missing CSR operand"))?,
+            pos,
         )?;
         let src = if imm_form {
-            let v = imm_op(ops, src_idx, symbols, line)?;
+            let v = imm_op(ops, src_idx, symbols, pos)?;
             if !(0..32).contains(&v) {
-                return Err(err(line, format!("CSR immediate {v} out of range")));
+                return Err(err(pos, format!("CSR immediate {v} out of range")));
             }
             CsrSrc::Imm(v as u8)
         } else {
-            CsrSrc::Reg(reg_op(ops, src_idx, line)?)
+            CsrSrc::Reg(reg_op(ops, src_idx, pos)?)
         };
         Ok(vec![Csr { op, rd, csr, src }])
     };
@@ -695,29 +761,29 @@ fn lower(
     match mnemonic {
         // --- U/J/I-type primaries ---
         "lui" => Ok(vec![Lui {
-            rd: reg_op(ops, 0, line)?,
+            rd: reg_op(ops, 0, pos)?,
             imm: {
-                let v = imm_op(ops, 1, symbols, line)?;
+                let v = imm_op(ops, 1, symbols, pos)?;
                 if !(0..(1 << 20)).contains(&v) && !(-(1 << 19)..0).contains(&v) {
-                    return Err(err(line, format!("lui immediate {v} out of range")));
+                    return Err(err(pos, format!("lui immediate {v} out of range")));
                 }
                 v as i32
             },
         }]),
         "auipc" => Ok(vec![Auipc {
-            rd: reg_op(ops, 0, line)?,
-            imm: imm_op(ops, 1, symbols, line)? as i32,
+            rd: reg_op(ops, 0, pos)?,
+            imm: imm_op(ops, 1, symbols, pos)? as i32,
         }]),
         "jal" => {
             // `jal label` or `jal rd, label`.
             let (rd, target) = if ops.len() == 1 {
-                (Reg::RA, imm_op(ops, 0, symbols, line)?)
+                (Reg::RA, imm_op(ops, 0, symbols, pos)?)
             } else {
-                (reg_op(ops, 0, line)?, imm_op(ops, 1, symbols, line)?)
+                (reg_op(ops, 0, pos)?, imm_op(ops, 1, symbols, pos)?)
             };
             Ok(vec![Jal {
                 rd,
-                imm: jump_imm(target, pc, line)?,
+                imm: jump_imm(target, pc, pos)?,
             }])
         }
         "jalr" => {
@@ -725,21 +791,21 @@ fn lower(
             if ops.len() == 1 {
                 Ok(vec![Jalr {
                     rd: Reg::RA,
-                    rs1: reg_op(ops, 0, line)?,
+                    rs1: reg_op(ops, 0, pos)?,
                     imm: 0,
                 }])
             } else if ops.len() == 2 && ops[1].contains('(') {
-                let (rs1, imm) = mem_op(ops, 1, symbols, line)?;
+                let (rs1, imm) = mem_op(ops, 1, symbols, pos)?;
                 Ok(vec![Jalr {
-                    rd: reg_op(ops, 0, line)?,
+                    rd: reg_op(ops, 0, pos)?,
                     rs1,
                     imm,
                 }])
             } else {
                 Ok(vec![Jalr {
-                    rd: reg_op(ops, 0, line)?,
-                    rs1: reg_op(ops, 1, line)?,
-                    imm: check_i_imm(imm_op(ops, 2, symbols, line)?, line)?,
+                    rd: reg_op(ops, 0, pos)?,
+                    rs1: reg_op(ops, 1, pos)?,
+                    imm: check_i_imm(imm_op(ops, 2, symbols, pos)?, pos)?,
                 }])
             }
         }
@@ -777,7 +843,7 @@ fn lower(
         "ori" => alu_imm(AluOp::Or),
         "andi" => alu_imm(AluOp::And),
         "subi" => Err(err(
-            line,
+            pos,
             "`subi` does not exist in RV32; use `addi` with a negated immediate".to_string(),
         )),
         "slli" => shift_imm(AluOp::Sll),
@@ -809,19 +875,18 @@ fn lower(
         "ebreak" => Ok(vec![Ebreak]),
         "mret" => Ok(vec![Mret]),
         "wfi" => Ok(vec![Wfi]),
-        "csrrw" => csr_instr(CsrOp::Rw, reg_op(ops, 0, line)?, 1, 2, false),
-        "csrrs" => csr_instr(CsrOp::Rs, reg_op(ops, 0, line)?, 1, 2, false),
-        "csrrc" => csr_instr(CsrOp::Rc, reg_op(ops, 0, line)?, 1, 2, false),
-        "csrrwi" => csr_instr(CsrOp::Rw, reg_op(ops, 0, line)?, 1, 2, true),
-        "csrrsi" => csr_instr(CsrOp::Rs, reg_op(ops, 0, line)?, 1, 2, true),
-        "csrrci" => csr_instr(CsrOp::Rc, reg_op(ops, 0, line)?, 1, 2, true),
+        "csrrw" => csr_instr(CsrOp::Rw, reg_op(ops, 0, pos)?, 1, 2, false),
+        "csrrs" => csr_instr(CsrOp::Rs, reg_op(ops, 0, pos)?, 1, 2, false),
+        "csrrc" => csr_instr(CsrOp::Rc, reg_op(ops, 0, pos)?, 1, 2, false),
+        "csrrwi" => csr_instr(CsrOp::Rw, reg_op(ops, 0, pos)?, 1, 2, true),
+        "csrrsi" => csr_instr(CsrOp::Rs, reg_op(ops, 0, pos)?, 1, 2, true),
+        "csrrci" => csr_instr(CsrOp::Rc, reg_op(ops, 0, pos)?, 1, 2, true),
         "csrr" => Ok(vec![Csr {
             op: CsrOp::Rs,
-            rd: reg_op(ops, 0, line)?,
+            rd: reg_op(ops, 0, pos)?,
             csr: csr_number(
-                ops.get(1)
-                    .ok_or_else(|| err(line, "csrr needs `rd, csr`"))?,
-                line,
+                ops.get(1).ok_or_else(|| err(pos, "csrr needs `rd, csr`"))?,
+                pos,
             )?,
             src: CsrSrc::Reg(Reg::ZERO),
         }]),
@@ -839,60 +904,60 @@ fn lower(
             imm: 0,
         }]),
         "li" | "la" => {
-            let rd = reg_op(ops, 0, line)?;
-            let value = imm_op(ops, 1, symbols, line)?;
+            let rd = reg_op(ops, 0, pos)?;
+            let value = imm_op(ops, 1, symbols, pos)?;
             if !(-(1i64 << 31)..(1i64 << 32)).contains(&value) {
-                return Err(err(line, format!("li value {value} does not fit 32 bits")));
+                return Err(err(pos, format!("li value {value} does not fit 32 bits")));
             }
             li_expand(rd, value as u32 as i32 as i64)
         }
         "mv" => Ok(vec![OpImm {
             op: AluOp::Add,
-            rd: reg_op(ops, 0, line)?,
-            rs1: reg_op(ops, 1, line)?,
+            rd: reg_op(ops, 0, pos)?,
+            rs1: reg_op(ops, 1, pos)?,
             imm: 0,
         }]),
         "not" => Ok(vec![OpImm {
             op: AluOp::Xor,
-            rd: reg_op(ops, 0, line)?,
-            rs1: reg_op(ops, 1, line)?,
+            rd: reg_op(ops, 0, pos)?,
+            rs1: reg_op(ops, 1, pos)?,
             imm: -1,
         }]),
         "neg" => Ok(vec![Op {
             op: AluOp::Sub,
-            rd: reg_op(ops, 0, line)?,
+            rd: reg_op(ops, 0, pos)?,
             rs1: Reg::ZERO,
-            rs2: reg_op(ops, 1, line)?,
+            rs2: reg_op(ops, 1, pos)?,
         }]),
         "seqz" => Ok(vec![OpImm {
             op: AluOp::Sltu,
-            rd: reg_op(ops, 0, line)?,
-            rs1: reg_op(ops, 1, line)?,
+            rd: reg_op(ops, 0, pos)?,
+            rs1: reg_op(ops, 1, pos)?,
             imm: 1,
         }]),
         "snez" => Ok(vec![Op {
             op: AluOp::Sltu,
-            rd: reg_op(ops, 0, line)?,
+            rd: reg_op(ops, 0, pos)?,
             rs1: Reg::ZERO,
-            rs2: reg_op(ops, 1, line)?,
+            rs2: reg_op(ops, 1, pos)?,
         }]),
         "j" => {
-            let target = imm_op(ops, 0, symbols, line)?;
+            let target = imm_op(ops, 0, symbols, pos)?;
             Ok(vec![Jal {
                 rd: Reg::ZERO,
-                imm: jump_imm(target, pc, line)?,
+                imm: jump_imm(target, pc, pos)?,
             }])
         }
         "jr" => Ok(vec![Jalr {
             rd: Reg::ZERO,
-            rs1: reg_op(ops, 0, line)?,
+            rs1: reg_op(ops, 0, pos)?,
             imm: 0,
         }]),
         "call" => {
-            let target = imm_op(ops, 0, symbols, line)?;
+            let target = imm_op(ops, 0, symbols, pos)?;
             Ok(vec![Jal {
                 rd: Reg::RA,
-                imm: jump_imm(target, pc, line)?,
+                imm: jump_imm(target, pc, pos)?,
             }])
         }
         "ret" => Ok(vec![Jalr {
@@ -900,7 +965,7 @@ fn lower(
             rs1: Reg::RA,
             imm: 0,
         }]),
-        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+        other => Err(err(pos, format!("unknown mnemonic `{other}`"))),
     }
 }
 
@@ -911,10 +976,16 @@ mod tests {
     #[test]
     fn subi_is_rejected_with_guidance() {
         let e = assemble("subi a0, a0, 4").unwrap_err();
-        assert_eq!(e.line, 1);
-        assert!(e.message.contains("addi"), "error should point at the fix: {e}");
+        assert_eq!((e.line, e.col), (1, 1));
+        assert!(
+            e.message.contains("addi"),
+            "error should point at the fix: {e}"
+        );
         // The equivalent spelling assembles fine.
         assert!(assemble("addi a0, a0, -4").is_ok());
+        // Indentation shifts the reported column to the mnemonic.
+        let e = assemble("nop\n    subi a0, a0, 4").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 5));
     }
 
     #[test]
@@ -1008,7 +1079,40 @@ mod tests {
     fn duplicate_label_is_error() {
         let error = assemble("x: nop\nx: nop").unwrap_err();
         assert!(error.message.contains("duplicate"));
-        assert_eq!(error.line, 2);
+        assert_eq!((error.line, error.col), (2, 1));
+        // The column points at the label itself, not the statement body.
+        let error = assemble("dup: nop\n  dup: nop").unwrap_err();
+        assert_eq!((error.line, error.col), (2, 3));
+    }
+
+    #[test]
+    fn equ_redefinition_is_error() {
+        let error = assemble(".equ IO, 0x02000000\n.equ IO, 0x03000000").unwrap_err();
+        assert!(
+            error.message.contains("redefines"),
+            "want a dedicated diagnostic, got: {error}"
+        );
+        assert_eq!((error.line, error.col), (2, 1));
+        // Shadowing a label is just as silent a footgun as shadowing an
+        // `.equ`; both directions are rejected.
+        let error = assemble("start: nop\n.equ start, 4").unwrap_err();
+        assert!(error.message.contains("redefines"), "{error}");
+        let error = assemble(".equ start, 4\nstart: nop").unwrap_err();
+        assert!(error.message.contains("duplicate"), "{error}");
+    }
+
+    #[test]
+    fn display_renders_line_and_column() {
+        let e = assemble("nop\n  j nowhere").unwrap_err();
+        assert_eq!(e.to_string(), "line 2:3: undefined symbol `nowhere`");
+    }
+
+    #[test]
+    fn image_symbols_iterates_labels_and_constants() {
+        let image = assemble(".equ IO, 0x02000000\nstart: nop").unwrap();
+        let mut syms: Vec<(&str, u32)> = image.symbols().collect();
+        syms.sort();
+        assert_eq!(syms, vec![("IO", 0x0200_0000), ("start", 0)]);
     }
 
     #[test]

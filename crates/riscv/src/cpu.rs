@@ -105,7 +105,8 @@ pub trait Bus {
     ///
     /// Returns [`BusFault`] for unmapped addresses.
     fn fetch(&mut self, pc: u32) -> Result<Fetched, BusFault> {
-        self.load(pc, AccessSize::Word).map(|v| Fetched::Word(v.value))
+        self.load(pc, AccessSize::Word)
+            .map(|v| Fetched::Word(v.value))
     }
 }
 
@@ -484,9 +485,7 @@ impl Cpu {
 
         match instr {
             Instr::Lui { rd, imm } => self.set_reg(rd, (imm << 12) as u32),
-            Instr::Auipc { rd, imm } => {
-                self.set_reg(rd, self.pc.wrapping_add((imm << 12) as u32))
-            }
+            Instr::Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add((imm << 12) as u32)),
             Instr::Jal { rd, imm } => {
                 self.set_reg(rd, self.pc.wrapping_add(4));
                 next_pc = self.pc.wrapping_add(imm as u32);
@@ -664,7 +663,7 @@ impl Cpu {
     }
 }
 
-fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+pub(crate) fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -766,10 +765,14 @@ impl Bus for RamBus {
 
     fn fetch(&mut self, pc: u32) -> Result<Fetched, BusFault> {
         let Some(cache) = &mut self.icache else {
-            return self.load(pc, AccessSize::Word).map(|v| Fetched::Word(v.value));
+            return self
+                .load(pc, AccessSize::Word)
+                .map(|v| Fetched::Word(v.value));
         };
         if !cache.covers(pc) || pc as usize + 4 > self.mem.len() {
-            return self.load(pc, AccessSize::Word).map(|v| Fetched::Word(v.value));
+            return self
+                .load(pc, AccessSize::Word)
+                .map(|v| Fetched::Word(v.value));
         }
         if let Some(i) = cache.get(pc) {
             return Ok(Fetched::Decoded(i));

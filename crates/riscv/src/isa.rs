@@ -19,17 +19,47 @@ pub enum Instr {
     /// Jump and link register: `rd = pc + 4; pc = (rs1 + imm) & !1`.
     Jalr { rd: Reg, rs1: Reg, imm: i32 },
     /// Conditional branch.
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, imm: i32 },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     /// Memory load.
-    Load { op: LoadOp, rd: Reg, rs1: Reg, imm: i32 },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Memory store.
-    Store { op: StoreOp, rs1: Reg, rs2: Reg, imm: i32 },
+    Store {
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     /// Register-immediate ALU operation.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Register-register ALU operation.
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// M-extension multiply/divide.
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Memory fence (a no-op in the in-order single-core model).
     Fence,
     /// Environment call (used by firmware to signal the simulator).
@@ -37,7 +67,12 @@ pub enum Instr {
     /// Breakpoint (halts the core for the host debugger, §3.4).
     Ebreak,
     /// CSR read-write/set/clear, register or immediate form.
-    Csr { op: CsrOp, rd: Reg, csr: u16, src: CsrSrc },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        csr: u16,
+        src: CsrSrc,
+    },
     /// Return from machine-mode trap.
     Mret,
     /// Wait for interrupt: parks the core until an interrupt is pending.
@@ -269,7 +304,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::NoSubImmediate => {
-                write!(f, "`subi` does not exist in RV32; use `addi` with a negated immediate")
+                write!(
+                    f,
+                    "`subi` does not exist in RV32; use `addi` with a negated immediate"
+                )
             }
         }
     }
@@ -335,7 +373,11 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             if funct3 != 0 {
                 return Err(illegal);
             }
-            Instr::Jalr { rd, rs1, imm: i_imm }
+            Instr::Jalr {
+                rd,
+                rs1,
+                imm: i_imm,
+            }
         }
         0b1100011 => {
             let op = match funct3 {
@@ -347,7 +389,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 0b111 => BranchOp::Geu,
                 _ => return Err(illegal),
             };
-            Instr::Branch { op, rs1, rs2, imm: b_imm }
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                imm: b_imm,
+            }
         }
         0b0000011 => {
             let op = match funct3 {
@@ -358,7 +405,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 0b101 => LoadOp::Lhu,
                 _ => return Err(illegal),
             };
-            Instr::Load { op, rd, rs1, imm: i_imm }
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                imm: i_imm,
+            }
         }
         0b0100011 => {
             let op = match funct3 {
@@ -367,7 +419,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 0b010 => StoreOp::Sw,
                 _ => return Err(illegal),
             };
-            Instr::Store { op, rs1, rs2, imm: s_imm }
+            Instr::Store {
+                op,
+                rs1,
+                rs2,
+                imm: s_imm,
+            }
         }
         0b0010011 => {
             let (op, imm) = match funct3 {
@@ -680,33 +737,89 @@ mod tests {
             imm: 16,
         })
         .unwrap();
-        assert_eq!(decode(word).unwrap(), Instr::Branch {
-            op: BranchOp::Eq,
-            rs1: Reg(10),
-            rs2: Reg(11),
-            imm: 16,
-        });
+        assert_eq!(
+            decode(word).unwrap(),
+            Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: Reg(10),
+                rs2: Reg(11),
+                imm: 16,
+            }
+        );
     }
 
     #[test]
     fn encode_decode_round_trip_samples() {
         let samples = [
-            Instr::Lui { rd: Reg(1), imm: -1 },
-            Instr::Auipc { rd: Reg(31), imm: 0x7ffff },
-            Instr::Jal { rd: Reg(1), imm: -2048 },
-            Instr::Jalr { rd: Reg(0), rs1: Reg(1), imm: 0 },
-            Instr::Branch { op: BranchOp::Geu, rs1: Reg(4), rs2: Reg(9), imm: -4096 },
-            Instr::Load { op: LoadOp::Lbu, rd: Reg(7), rs1: Reg(8), imm: 2047 },
-            Instr::Store { op: StoreOp::Sh, rs1: Reg(3), rs2: Reg(2), imm: -2048 },
-            Instr::OpImm { op: AluOp::Sra, rd: Reg(5), rs1: Reg(5), imm: 31 },
-            Instr::Op { op: AluOp::Sub, rd: Reg(10), rs1: Reg(11), rs2: Reg(12) },
-            Instr::MulDiv { op: MulOp::Remu, rd: Reg(13), rs1: Reg(14), rs2: Reg(15) },
+            Instr::Lui {
+                rd: Reg(1),
+                imm: -1,
+            },
+            Instr::Auipc {
+                rd: Reg(31),
+                imm: 0x7ffff,
+            },
+            Instr::Jal {
+                rd: Reg(1),
+                imm: -2048,
+            },
+            Instr::Jalr {
+                rd: Reg(0),
+                rs1: Reg(1),
+                imm: 0,
+            },
+            Instr::Branch {
+                op: BranchOp::Geu,
+                rs1: Reg(4),
+                rs2: Reg(9),
+                imm: -4096,
+            },
+            Instr::Load {
+                op: LoadOp::Lbu,
+                rd: Reg(7),
+                rs1: Reg(8),
+                imm: 2047,
+            },
+            Instr::Store {
+                op: StoreOp::Sh,
+                rs1: Reg(3),
+                rs2: Reg(2),
+                imm: -2048,
+            },
+            Instr::OpImm {
+                op: AluOp::Sra,
+                rd: Reg(5),
+                rs1: Reg(5),
+                imm: 31,
+            },
+            Instr::Op {
+                op: AluOp::Sub,
+                rd: Reg(10),
+                rs1: Reg(11),
+                rs2: Reg(12),
+            },
+            Instr::MulDiv {
+                op: MulOp::Remu,
+                rd: Reg(13),
+                rs1: Reg(14),
+                rs2: Reg(15),
+            },
             Instr::Ecall,
             Instr::Ebreak,
             Instr::Mret,
             Instr::Wfi,
-            Instr::Csr { op: CsrOp::Rs, rd: Reg(6), csr: 0x342, src: CsrSrc::Imm(5) },
-            Instr::Csr { op: CsrOp::Rw, rd: Reg(0), csr: 0x305, src: CsrSrc::Reg(Reg(7)) },
+            Instr::Csr {
+                op: CsrOp::Rs,
+                rd: Reg(6),
+                csr: 0x342,
+                src: CsrSrc::Imm(5),
+            },
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg(0),
+                csr: 0x305,
+                src: CsrSrc::Reg(Reg(7)),
+            },
         ];
         for instr in samples {
             assert_eq!(decode(encode(instr).unwrap()).unwrap(), instr, "{instr:?}");
@@ -723,7 +836,10 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, EncodeError::NoSubImmediate);
-        assert!(err.to_string().contains("addi"), "error should point at the fix");
+        assert!(
+            err.to_string().contains("addi"),
+            "error should point at the fix"
+        );
     }
 
     #[test]

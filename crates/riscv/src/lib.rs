@@ -36,20 +36,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod asm;
 mod cpu;
 mod disasm;
 mod icache;
 mod isa;
 
-pub use asm::{assemble, assemble_at, AsmError, Image};
-pub use cpu::{
-    csr, AccessSize, Bus, BusFault, BusValue, CostModel, Cpu, CpuFault, Fetched, RamBus,
-    StepResult,
+pub use analyze::{
+    Analyzer, Check, Diagnostic, EntryWcet, LintReport, LoopBound, MachineSpec, MmioReg, Region,
+    Severity,
 };
-pub use icache::{DecodeCache, DecodeCacheStats};
+pub use asm::{assemble, assemble_at, AsmError, Image, Pos};
+pub use cpu::{
+    csr, AccessSize, Bus, BusFault, BusValue, CostModel, Cpu, CpuFault, Fetched, RamBus, StepResult,
+};
 pub use disasm::{disassemble, disassemble_image};
+pub use icache::{DecodeCache, DecodeCacheStats};
 pub use isa::{
-    decode, encode, AluOp, BranchOp, CsrOp, CsrSrc, DecodeError, EncodeError, Instr, LoadOp,
-    MulOp, Reg, StoreOp,
+    decode, encode, AluOp, BranchOp, CsrOp, CsrSrc, DecodeError, EncodeError, Instr, LoadOp, MulOp,
+    Reg, StoreOp,
 };

@@ -84,9 +84,24 @@ fn div_rem_by_zero_and_overflow() {
 
 #[test]
 fn div_rem_ordinary_quotients() {
-    for (a, b) in [(7i32, 2i32), (-7, 2), (7, -2), (-7, -2), (0, 5), (1, i32::MAX)] {
-        assert_eq!(rtype("div", a as u32, b as u32), a.wrapping_div(b) as u32, "div {a}/{b}");
-        assert_eq!(rtype("rem", a as u32, b as u32), a.wrapping_rem(b) as u32, "rem {a}%{b}");
+    for (a, b) in [
+        (7i32, 2i32),
+        (-7, 2),
+        (7, -2),
+        (-7, -2),
+        (0, 5),
+        (1, i32::MAX),
+    ] {
+        assert_eq!(
+            rtype("div", a as u32, b as u32),
+            a.wrapping_div(b) as u32,
+            "div {a}/{b}"
+        );
+        assert_eq!(
+            rtype("rem", a as u32, b as u32),
+            a.wrapping_rem(b) as u32,
+            "rem {a}%{b}"
+        );
     }
     for (a, b) in [(7u32, 2u32), (u32::MAX, 2), (0x8000_0000, 3), (1, u32::MAX)] {
         assert_eq!(rtype("divu", a, b), a / b, "divu {a}/{b}");
@@ -150,7 +165,11 @@ fn misaligned_loads_and_stores_are_byte_exact() {
         assert_eq!(cpu.reg(r("a3")), 0x0302, "{name}: odd lhu");
         assert_eq!(cpu.reg(r("a4")), 0x0504, "{name}: odd lh");
         assert_eq!(cpu.reg(r("a5")), 0x06, "{name}: lbu");
-        assert_eq!(cpu.reg(r("a7")), 0xAABB_CCDD, "{name}: misaligned sw round-trip");
+        assert_eq!(
+            cpu.reg(r("a7")),
+            0xAABB_CCDD,
+            "{name}: misaligned sw round-trip"
+        );
         assert_eq!(cpu.reg(r("t1")), 0, "{name}: neighbour byte untouched");
     }
     assert_eq!(
@@ -271,7 +290,10 @@ fn illegal_words_are_never_cached() {
         };
         assert_eq!(
             fault,
-            CpuFault::IllegalInstruction { pc: nop_at, word: illegal },
+            CpuFault::IllegalInstruction {
+                pc: nop_at,
+                word: illegal
+            },
             "cached={cached}"
         );
         // Patch the word back to a real instruction and re-run from scratch:
@@ -341,5 +363,8 @@ fn fetch_from_misaligned_pc_agrees_across_buses() {
         }
         results.push(outcome.expect("must halt or fault"));
     }
-    assert_eq!(results[0], results[1], "misaligned fetch diverged across buses");
+    assert_eq!(
+        results[0], results[1],
+        "misaligned fetch diverged across buses"
+    );
 }

@@ -26,14 +26,18 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
     ];
     let alu_rr = prop_oneof![alu.clone(), Just(AluOp::Sub)];
     prop_oneof![
-        (reg_strategy(), -(1i32 << 19)..(1 << 19))
-            .prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (reg_strategy(), -(1i32 << 19)..(1 << 19))
-            .prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
-        (reg_strategy(), (-(1i32 << 19)..(1 << 19)).prop_map(|x| x * 2))
+        (reg_strategy(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (reg_strategy(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
+        (
+            reg_strategy(),
+            (-(1i32 << 19)..(1 << 19)).prop_map(|x| x * 2)
+        )
             .prop_map(|(rd, imm)| Instr::Jal { rd, imm }),
-        (reg_strategy(), reg_strategy(), -2048i32..2048)
-            .prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
+        (reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Instr::Jalr {
+            rd,
+            rs1,
+            imm
+        }),
         (
             prop_oneof![
                 Just(BranchOp::Eq),
@@ -68,15 +72,13 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
             -2048i32..2048
         )
             .prop_map(|(op, rs1, rs2, imm)| Instr::Store { op, rs1, rs2, imm }),
-        (alu.clone(), reg_strategy(), reg_strategy(), 0i32..32).prop_map(
-            |(op, rd, rs1, shamt)| {
-                let imm = match op {
-                    AluOp::Sll | AluOp::Srl | AluOp::Sra => shamt,
-                    _ => shamt * 64 - 1024, // any in-range immediate
-                };
-                Instr::OpImm { op, rd, rs1, imm }
-            }
-        ),
+        (alu.clone(), reg_strategy(), reg_strategy(), 0i32..32).prop_map(|(op, rd, rs1, shamt)| {
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => shamt,
+                _ => shamt * 64 - 1024, // any in-range immediate
+            };
+            Instr::OpImm { op, rd, rs1, imm }
+        }),
         (alu_rr, reg_strategy(), reg_strategy(), reg_strategy())
             .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
         (

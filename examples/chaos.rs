@@ -21,7 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = FaultPlan::new(0xC0FFEE)
         .at(40_000, FaultKind::CorruptIngress { rpu: 1, count: 20 })
         .at(50_000, FaultKind::FirmwareHang { rpu: 3 })
-        .at(55_000, FaultKind::RxFifoOverflow { port: 0, cycles: 2_000 })
+        .at(
+            55_000,
+            FaultKind::RxFifoOverflow {
+                port: 0,
+                cycles: 2_000,
+            },
+        )
         .at(60_000, FaultKind::HostDmaOutage { cycles: 8_000 })
         .at(140_000, FaultKind::FirmwareCrash { rpu: 6 });
     sys.install_fault_plan(plan);
@@ -58,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  [PCIe] host link down — supervisor backing off");
             was_down = true;
         } else if h.sys.host_link_up() && was_down {
-            println!("  [PCIe] host link restored after {} retries", sup.link_retries());
+            println!(
+                "  [PCIe] host link restored after {} retries",
+                sup.link_retries()
+            );
             was_down = false;
         }
         for ev in &h.sys.recovery_log()[reported..] {

@@ -8,8 +8,8 @@
 
 use rosebud::apps::forwarder::watchdog_forwarder_asm;
 use rosebud::core::{
-    Desc, FaultKind, FaultPlan, Firmware, Harness, MemRegion, Rosebud, RosebudConfig,
-    RoundRobinLb, RpuIo, RpuProgram, Supervisor, SupervisorConfig, TraceConfig, TraceEvent,
+    Desc, FaultKind, FaultPlan, Firmware, Harness, MemRegion, Rosebud, RosebudConfig, RoundRobinLb,
+    RpuIo, RpuProgram, Supervisor, SupervisorConfig, TraceConfig, TraceEvent,
 };
 use rosebud::net::FixedSizeGen;
 use rosebud::riscv::{assemble, disassemble_image, Reg};
@@ -126,7 +126,10 @@ impl Firmware for TelemetryForwarder {
             if self.seen.is_multiple_of(64) && !io.host_dma_busy() {
                 io.host_dma_write(0x1000, io.slot_addr(desc.tag), 64);
             }
-            io.send(Desc { port: desc.port ^ 1, ..desc });
+            io.send(Desc {
+                port: desc.port ^ 1,
+                ..desc
+            });
         }
     }
 }
@@ -144,9 +147,7 @@ fn observability_trace() -> Result<(), Box<dyn std::error::Error>> {
             }
         })
         .build()?;
-    sys.install_fault_plan(
-        FaultPlan::new(7).at(20_000, FaultKind::FirmwareHang { rpu: 3 }),
-    );
+    sys.install_fault_plan(FaultPlan::new(7).at(20_000, FaultKind::FirmwareHang { rpu: 3 }));
     sys.enable_tracing(TraceConfig {
         counter_interval: 4096,
         pc_profile: true,
@@ -208,7 +209,10 @@ fn observability_trace() -> Result<(), Box<dyn std::error::Error>> {
         ctr,
         tracer.dropped_events(),
     );
-    assert!(lb > 0 && dma > 0 && sup_ev > 0 && ctr > 0, "trace must cover all event classes");
+    assert!(
+        lb > 0 && dma > 0 && sup_ev > 0 && ctr > 0,
+        "trace must cover all event classes"
+    );
 
     let json = tracer.perfetto_json(h.sys.config().ns_per_cycle());
     std::fs::write("trace.json", &json)?;

@@ -14,8 +14,7 @@
 
 use rosebud::accel::{generate_firewall_verilog, Accelerator, RegRead, ResourceUsage};
 use rosebud::core::{
-    Desc, Firmware, Harness, Rosebud, RosebudConfig, RoundRobinLb, RpuIo, RpuProgram,
-    RpuTestbench,
+    Desc, Firmware, Harness, Rosebud, RosebudConfig, RoundRobinLb, RpuIo, RpuProgram, RpuTestbench,
 };
 use rosebud::net::{FixedSizeGen, PacketBuilder};
 

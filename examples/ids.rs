@@ -61,11 +61,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let tail = &pkt.bytes()[pkt.bytes().len() - 4..];
             let sid = u32::from_le_bytes(tail.try_into().unwrap());
             if rules.iter().any(|r| r.id == sid) {
-                println!("  host packet {}: {} bytes, matched sid {}", pkt.id, pkt.len(), sid);
+                println!(
+                    "  host packet {}: {} bytes, matched sid {}",
+                    pkt.id,
+                    pkt.len(),
+                    sid
+                );
             } else {
                 // Software reordering punts hash collisions and reorder-
                 // buffer overflow to the host unprocessed (§7.1.2).
-                println!("  host packet {}: {} bytes, punted unprocessed", pkt.id, pkt.len());
+                println!(
+                    "  host packet {}: {} bytes, punted unprocessed",
+                    pkt.id,
+                    pkt.len()
+                );
             }
         }
     }

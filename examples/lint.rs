@@ -1,0 +1,113 @@
+//! Static firmware lint — run the analyzer (CFG + abstract interpretation +
+//! WCET) over shipped firmware or your own `.s` files, without simulating a
+//! single cycle.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example lint                 # lint every builtin
+//! cargo run --release --example lint -- firewall     # one builtin
+//! cargo run --release --example lint -- my_fw.s      # your own assembly
+//! cargo run --release --example lint -- --deny ...   # warnings fail too
+//! ```
+//!
+//! Exit status is non-zero when any report contains errors (or, under
+//! `--deny`, any findings at all) — suitable for CI.
+
+use rosebud::apps::firewall::FIREWALL_ASM;
+use rosebud::apps::forwarder::{
+    duty_cycle_forwarder_asm, watchdog_forwarder_asm, FORWARDER_ASM, FORWARDER_SINGLE_PORT_ASM,
+};
+use rosebud::apps::pigasus_asm::PIGASUS_HW_ASM;
+use rosebud::core::{machine_spec, RosebudConfig};
+use rosebud::riscv::{assemble, Analyzer};
+
+/// Builtin firmware: name → assembly source.
+fn builtins() -> Vec<(&'static str, String)> {
+    vec![
+        ("forwarder", FORWARDER_ASM.to_string()),
+        (
+            "forwarder-single-port",
+            FORWARDER_SINGLE_PORT_ASM.to_string(),
+        ),
+        ("watchdog-forwarder", watchdog_forwarder_asm(4096)),
+        ("duty-cycle-forwarder", duty_cycle_forwarder_asm(2048)),
+        ("firewall", FIREWALL_ASM.to_string()),
+        ("pigasus", PIGASUS_HW_ASM.to_string()),
+    ]
+}
+
+fn main() {
+    let mut deny = false;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                eprintln!("usage: lint [--deny] [NAME|FILE.s ...]");
+                eprintln!("builtins: {}", builtin_names().join(", "));
+                return;
+            }
+            _ => targets.push(arg),
+        }
+    }
+
+    // Source each target: a builtin name, or a path to an assembly file.
+    let jobs: Vec<(String, String)> = if targets.is_empty() {
+        builtins()
+            .into_iter()
+            .map(|(n, s)| (n.to_string(), s))
+            .collect()
+    } else {
+        let mut jobs = Vec::new();
+        for t in &targets {
+            if let Some((name, src)) = builtins().into_iter().find(|(n, _)| n == t) {
+                jobs.push((name.to_string(), src));
+            } else {
+                match std::fs::read_to_string(t) {
+                    Ok(src) => jobs.push((t.clone(), src)),
+                    Err(e) => {
+                        eprintln!(
+                            "{t}: not a builtin ({}) and not a readable file: {e}",
+                            builtin_names().join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        jobs
+    };
+
+    let analyzer = Analyzer::new(machine_spec(&RosebudConfig::with_rpus(1)));
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (name, src) in &jobs {
+        let image = match assemble(src) {
+            Ok(image) => image,
+            Err(e) => {
+                // file:line:col: error: message — editor-clickable.
+                eprintln!("{name}:{}:{}: error: {}", e.line, e.col, e.message);
+                errors += 1;
+                continue;
+            }
+        };
+        let report = analyzer.check(&image);
+        print!("{}", report.render(name));
+        println!();
+        errors += report.error_count();
+        warnings += report.warning_count();
+    }
+
+    println!(
+        "lint: {} target(s), {errors} error(s), {warnings} warning(s)",
+        jobs.len()
+    );
+    if errors > 0 || (deny && warnings > 0) {
+        std::process::exit(1);
+    }
+}
+
+fn builtin_names() -> Vec<&'static str> {
+    builtins().into_iter().map(|(n, _)| n).collect()
+}

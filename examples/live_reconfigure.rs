@@ -95,8 +95,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         h.received(),
         h.sys.drop_count()
     );
-    println!(
-        "\nwall-clock reload on real hardware: ~756 ms (see `cargo bench --bench sec41_pr`)"
-    );
+    println!("\nwall-clock reload on real hardware: ~756 ms (see `cargo bench --bench sec41_pr`)");
     Ok(())
 }

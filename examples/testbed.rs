@@ -18,8 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dut = build_forwarding_system(16)?;
     let mut b2b = BackToBack::new(tester, dut);
 
-    println!("tester: 16 RPUs of basic_pkt_gen, LB RECV mask = {:#06x}",
-        b2b.tester.enabled_mask());
+    println!(
+        "tester: 16 RPUs of basic_pkt_gen, LB RECV mask = {:#06x}",
+        b2b.tester.enabled_mask()
+    );
     println!("DUT   : 16 RPUs of basic_fw (the 16-cycle forwarder)\n");
 
     // "Now wait for the packets to flow for a minute to get a good average."

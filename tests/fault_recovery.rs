@@ -94,7 +94,12 @@ fn run_scenario() -> Trace {
 fn hang_is_detected_evicted_reloaded_and_reintegrated() {
     let t = run_scenario();
 
-    assert_eq!(t.recoveries.len(), 1, "exactly one recovery: {:?}", t.recoveries);
+    assert_eq!(
+        t.recoveries.len(),
+        1,
+        "exactly one recovery: {:?}",
+        t.recoveries
+    );
     let ev = t.recoveries[0];
     assert_eq!(ev.rpu, WEDGED);
     assert_eq!(
@@ -161,10 +166,17 @@ fn recovered_region_is_verified_running() {
         },
     );
     run_supervised(&mut h, &mut sup, 95_000);
-    assert_eq!(h.sys.enabled_mask(), 0xFF, "all eight regions back in rotation");
+    assert_eq!(
+        h.sys.enabled_mask(),
+        0xFF,
+        "all eight regions back in rotation"
+    );
     assert_eq!(h.sys.rpus()[WEDGED].state(), RpuState::Running);
     assert!(!h.sys.rpus()[WEDGED].is_halted());
-    assert!(!h.sys.rpus()[WEDGED].is_hung(), "the reload wiped the wedge");
+    assert!(
+        !h.sys.rpus()[WEDGED].is_hung(),
+        "the reload wiped the wedge"
+    );
     assert!(!sup.recovering());
 }
 
@@ -176,7 +188,10 @@ fn recovery_trace_is_deterministic() {
         a.recoveries, b.recoveries,
         "same plan + seed must reproduce the cycle-exact recovery trace"
     );
-    assert_eq!(a.ledger, b.ledger, "ledger must be cycle-exact reproducible");
+    assert_eq!(
+        a.ledger, b.ledger,
+        "ledger must be cycle-exact reproducible"
+    );
     assert_eq!(a.in_flight, b.in_flight);
     assert!((a.baseline_mpps - b.baseline_mpps).abs() < f64::EPSILON);
     assert!((a.degraded_mpps - b.degraded_mpps).abs() < f64::EPSILON);

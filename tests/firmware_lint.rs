@@ -1,0 +1,517 @@
+//! The firmware analyzer end to end: every check class catches its bad
+//! fixture, every shipped firmware lints clean (snapshotted under
+//! `tests/golden/firmware.lint`), the `LoadPolicy::Deny` gate provably
+//! blocks a bad image during a live PR reload, and the static WCET bounds
+//! are validated against measured per-PC cycle profiles.
+//!
+//! Refresh the snapshot after an *intentional* analyzer change with:
+//! `UPDATE_GOLDEN=1 cargo test --test firmware_lint`
+
+use std::path::PathBuf;
+
+use rosebud::apps::firewall::{firewall_image, synthetic_blacklist, NoopGen, FIREWALL_ASM};
+use rosebud::apps::forwarder::{
+    duty_cycle_forwarder_asm, forwarder_image, watchdog_forwarder_asm, FORWARDER_ASM,
+    FORWARDER_SINGLE_PORT_ASM,
+};
+use rosebud::apps::pigasus_asm::PIGASUS_HW_ASM;
+use rosebud::core::{
+    machine_spec, Harness, LoadPolicy, Rosebud, RosebudConfig, RoundRobinLb, RpuProgram, RpuState,
+    RpuTestbench,
+};
+use rosebud::net::PacketBuilder;
+use rosebud::riscv::{assemble, Analyzer, Check, LintReport, Severity};
+
+fn analyzer() -> Analyzer {
+    Analyzer::new(machine_spec(&RosebudConfig::with_rpus(1)))
+}
+
+fn check(src: &str) -> LintReport {
+    analyzer().check(&assemble(src).expect("fixture must assemble"))
+}
+
+fn has(report: &LintReport, severity: Severity, check: Check) -> bool {
+    report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == severity && d.check == check)
+}
+
+// ---------------------------------------------------------------------------
+// One failing fixture per check class.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reading_a_write_only_register_is_an_mmio_error() {
+    // SEND_DESC_LO (0x10) is write-only: the bus returns 0 and the firmware
+    // silently forwards garbage. The analyzer turns that into an error.
+    let report = check(
+        "
+            li t0, 0x02000000
+        spin:
+            lw a0, 0x10(t0)
+            j spin
+        ",
+    );
+    assert!(
+        has(&report, Severity::Error, Check::Mmio),
+        "{}",
+        report.render("fixture")
+    );
+}
+
+#[test]
+fn writing_a_read_only_register_is_an_mmio_error() {
+    // RECV_READY (0x00) is read-only: the store vanishes on real hardware.
+    let report = check(
+        "
+            li t0, 0x02000000
+            sw zero, 0x00(t0)
+        spin:
+            wfi
+            j spin
+        ",
+    );
+    assert!(
+        has(&report, Severity::Error, Check::Mmio),
+        "{}",
+        report.render("fixture")
+    );
+}
+
+#[test]
+fn touching_an_unmapped_address_is_a_region_error() {
+    // Nothing lives at 0x0500_0000: no RAM, no IO window, no accelerator.
+    let report = check(
+        "
+            li t0, 0x05000000
+            lw a0, 0(t0)
+        spin:
+            wfi
+            j spin
+        ",
+    );
+    assert!(
+        has(&report, Severity::Error, Check::Region),
+        "{}",
+        report.render("fixture")
+    );
+}
+
+#[test]
+fn a_loop_that_never_pets_the_watchdog_is_flagged() {
+    let report = check(
+        "
+            li t0, 0x02000000
+        poll:
+            lw a0, 0x00(t0)
+            beqz a0, poll
+        spin:
+            j spin
+        ",
+    );
+    assert!(
+        has(&report, Severity::Warning, Check::Watchdog),
+        "{}",
+        report.render("fixture")
+    );
+    // The same loop with a TIMER_CMP pet on every path is clean.
+    let petted = check(
+        "
+            li t0, 0x02000000
+            li t1, 4096
+        poll:
+            sw t1, 0x40(t0)
+            lw a0, 0x00(t0)
+            beqz a0, poll
+            j poll
+        ",
+    );
+    assert!(
+        !has(&petted, Severity::Warning, Check::Watchdog),
+        "{}",
+        petted.render("fixture")
+    );
+}
+
+#[test]
+fn using_an_uninitialized_register_is_an_error() {
+    // a1 is never written before it feeds an address computation.
+    let report = check(
+        "
+            add a0, a1, a1
+        spin:
+            wfi
+            j spin
+        ",
+    );
+    assert!(
+        has(&report, Severity::Error, Check::Uninit),
+        "{}",
+        report.render("fixture")
+    );
+}
+
+#[test]
+fn escaping_the_stack_region_is_an_error() {
+    // Stack is the top 4 KB of DMEM: [0x0080_7000, 0x0080_8000) for the
+    // default 32 KB. A push below the base is an underflow.
+    let report = check(
+        "
+            li sp, 0x00807000
+            sw zero, -4(sp)
+        spin:
+            wfi
+            j spin
+        ",
+    );
+    assert!(
+        has(&report, Severity::Error, Check::Stack),
+        "{}",
+        report.render("fixture")
+    );
+    // The same store inside the region is clean.
+    let ok = check(
+        "
+            li sp, 0x00808000
+            sw zero, -4(sp)
+        spin:
+            wfi
+            j spin
+        ",
+    );
+    assert!(
+        !has(&ok, Severity::Error, Check::Stack),
+        "{}",
+        ok.render("fixture")
+    );
+}
+
+#[test]
+fn reachable_garbage_is_an_illegal_instruction_error() {
+    // Fall-through into a data word that decodes as nothing.
+    let report = check(
+        "
+            nop
+            .word 0xffffffff
+        ",
+    );
+    assert!(
+        has(&report, Severity::Error, Check::Illegal),
+        "{}",
+        report.render("fixture")
+    );
+}
+
+#[test]
+fn unreachable_code_is_a_dead_code_warning() {
+    let report = check(
+        "
+        spin:
+            j spin
+            nop          # unreachable
+            nop
+        ",
+    );
+    assert!(
+        has(&report, Severity::Warning, Check::Dead),
+        "{}",
+        report.render("fixture")
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shipped firmware: zero errors, snapshotted reports.
+// ---------------------------------------------------------------------------
+
+/// Every shipped RV32 firmware, by stable name.
+fn shipped() -> Vec<(&'static str, String)> {
+    vec![
+        ("forwarder", FORWARDER_ASM.to_string()),
+        (
+            "forwarder-single-port",
+            FORWARDER_SINGLE_PORT_ASM.to_string(),
+        ),
+        ("watchdog-forwarder", watchdog_forwarder_asm(4096)),
+        ("duty-cycle-forwarder", duty_cycle_forwarder_asm(2048)),
+        ("firewall", FIREWALL_ASM.to_string()),
+        ("pigasus", PIGASUS_HW_ASM.to_string()),
+    ]
+}
+
+#[test]
+fn shipped_firmware_has_zero_lint_errors() {
+    let analyzer = analyzer();
+    for (name, src) in shipped() {
+        let report = analyzer.check(&assemble(&src).unwrap());
+        assert!(
+            !report.has_errors(),
+            "shipped firmware {name} has lint errors:\n{}",
+            report.render(name)
+        );
+    }
+}
+
+/// The concatenated lint reports of every shipped firmware, snapshotted —
+/// any change to the CFG builder, the abstract domains, the cost model, or
+/// the firmware itself shows up here as a readable diff.
+#[test]
+fn shipped_firmware_lint_reports_match_golden() {
+    let analyzer = analyzer();
+    let mut text = String::new();
+    for (name, src) in shipped() {
+        text.push_str(&analyzer.check(&assemble(&src).unwrap()).render(name));
+        text.push('\n');
+    }
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/firmware.lint");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --test firmware_lint",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, text,
+        "lint reports drifted from tests/golden/firmware.lint (refresh \
+         intentional changes with UPDATE_GOLDEN=1)"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// LoadPolicy wiring.
+// ---------------------------------------------------------------------------
+
+/// Firmware with a definite lint error: it forwards whatever the write-only
+/// SEND_DESC_LO register reads back (always zero).
+const BAD_FIRMWARE: &str = "
+        li t0, 0x02000000
+    spin:
+        lw a0, 0x10(t0)
+        j spin
+";
+
+fn forwarder_system(policy: LoadPolicy) -> Result<Rosebud, String> {
+    let image = assemble(FORWARDER_ASM).unwrap();
+    Rosebud::builder(RosebudConfig::with_rpus(4))
+        .load_balancer(Box::new(RoundRobinLb::new()))
+        .firmware(move |_| RpuProgram::Riscv(image.clone()))
+        .load_policy(policy)
+        .build()
+}
+
+#[test]
+fn deny_policy_rejects_bad_firmware_at_boot() {
+    let bad = assemble(BAD_FIRMWARE).unwrap();
+    let err = Rosebud::builder(RosebudConfig::with_rpus(2))
+        .load_balancer(Box::new(RoundRobinLb::new()))
+        .firmware(move |_| RpuProgram::Riscv(bad.clone()))
+        .load_policy(LoadPolicy::Deny)
+        .build()
+        .expect_err("a Deny system must refuse bad firmware at boot");
+    assert!(err.contains("LoadPolicy::Deny"), "{err}");
+
+    // The same firmware under Warn boots, with the report on record.
+    let bad = assemble(BAD_FIRMWARE).unwrap();
+    let sys = Rosebud::builder(RosebudConfig::with_rpus(2))
+        .load_balancer(Box::new(RoundRobinLb::new()))
+        .firmware(move |_| RpuProgram::Riscv(bad.clone()))
+        .load_policy(LoadPolicy::Warn)
+        .build()
+        .expect("Warn must load regardless");
+    assert_eq!(sys.lint_log().len(), 2);
+    assert!(sys.lint_log().iter().all(|r| !r.denied));
+    assert!(sys.lint_log().iter().all(|r| r.report.has_errors()));
+    assert!(sys.diagnostics().render().contains("lint: RPU 0"));
+}
+
+#[test]
+fn deny_policy_blocks_a_bad_image_during_pr_reload() {
+    let mut h = Harness::new(
+        forwarder_system(LoadPolicy::Deny).unwrap(),
+        Box::new(NoopGen),
+        0.0,
+    );
+    assert_eq!(h.sys.lint_log().len(), 4, "boot vets all four lanes");
+
+    // A runtime ruleset push gone wrong: reconfigure RPU 1 with a bad image.
+    let bad = assemble(BAD_FIRMWARE).unwrap();
+    h.sys.reconfigure_rpu(1, Some(RpuProgram::Riscv(bad)), None);
+    let pr = h.sys.config().pr_cycles;
+    h.run(pr + 10_000);
+
+    // The bitstream write completed, but the boot never did: the region is
+    // still inert in `Reconfiguring`, its LB enable bit stays clear, and the
+    // denial is on record. Known-bad firmware never ran a single cycle.
+    assert!(
+        matches!(h.sys.rpus()[1].state(), RpuState::Reconfiguring { .. }),
+        "denied region must stay inert, got {:?}",
+        h.sys.rpus()[1].state()
+    );
+    assert_eq!(
+        h.sys.enabled_mask() & 0b10,
+        0,
+        "LB must not route to the denied region"
+    );
+    let last = h.sys.lint_log().last().unwrap();
+    assert!(last.denied && last.rpu == 1 && last.report.has_errors());
+    assert!(last.cycle > 0, "PR-reload vet happens at runtime, not boot");
+
+    // The same reload with a good image completes and re-enables the lane.
+    let good = assemble(FORWARDER_ASM).unwrap();
+    h.sys
+        .reconfigure_rpu(2, Some(RpuProgram::Riscv(good)), None);
+    h.run(pr + 10_000);
+    assert_eq!(h.sys.rpus()[2].state(), RpuState::Running);
+    assert_eq!(h.sys.enabled_mask() & 0b100, 0b100);
+    assert!(!h.sys.lint_log().last().unwrap().denied);
+}
+
+#[test]
+fn deny_policy_blocks_a_bad_host_load() {
+    let mut h = Harness::new(
+        forwarder_system(LoadPolicy::Deny).unwrap(),
+        Box::new(NoopGen),
+        0.0,
+    );
+    let bad = assemble(BAD_FIRMWARE).unwrap();
+    h.sys
+        .load_rpu_firmware(3, &bad)
+        .expect_err("host load of bad firmware must be refused");
+    // The lane still runs its original (good) firmware.
+    assert_eq!(h.sys.rpus()[3].state(), RpuState::Running);
+}
+
+#[test]
+fn off_policy_records_nothing() {
+    let sys = forwarder_system(LoadPolicy::Off).unwrap();
+    assert!(sys.lint_log().is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Static WCET vs measured cycles.
+// ---------------------------------------------------------------------------
+
+/// Measured average cycles per loop iteration from a per-PC profile: total
+/// cycles attributed to loop-body PCs divided by header executions. Sound to
+/// compare against the static per-iteration bound because an *average* over
+/// iterations can never exceed the worst case. The loop header is a 2-cycle
+/// `lw` in both firmwares, so `profile[header] / 2` counts iterations.
+fn measured_loop_average(tb: &RpuTestbench, header: u32) -> f64 {
+    let profile = tb.rpu().pc_profile().expect("profiling enabled");
+    let header_cycles = *profile.get(&header).expect("loop header executed");
+    let iterations = header_cycles / 2;
+    let loop_cycles: u64 = profile
+        .iter()
+        .filter(|(&pc, _)| pc >= header)
+        .map(|(_, c)| c)
+        .sum();
+    loop_cycles as f64 / iterations as f64
+}
+
+fn single_loop_bound(report: &LintReport) -> (u32, u64) {
+    let entry = &report.wcet[0];
+    // Take the outermost (lowest-header) loop bound.
+    let lb = entry
+        .loops
+        .iter()
+        .min_by_key(|l| l.header)
+        .expect("loop bound");
+    (lb.header, lb.cycles_per_iter)
+}
+
+#[test]
+fn forwarder_wcet_bound_dominates_measured_cycles() {
+    let report = analyzer().check(&forwarder_image());
+    let (header, bound) = single_loop_bound(&report);
+    assert_eq!(bound, 16, "the paper's 16-cycle forwarder loop");
+
+    let mut cfg = RosebudConfig::with_rpus(4);
+    cfg.slots_per_rpu = 64;
+    let mut tb = RpuTestbench::new(cfg);
+    tb.load_riscv(&forwarder_image());
+    tb.rpu_mut().enable_profiling();
+    tb.step(100);
+    let pkt = PacketBuilder::new().tcp(4000, 80).pad_to(256).build();
+    for _ in 0..32 {
+        tb.deliver(&pkt).unwrap();
+    }
+    tb.step(4_000);
+    assert_eq!(tb.outputs().len(), 32, "burst must drain");
+
+    let measured = measured_loop_average(&tb, header);
+    assert!(
+        bound as f64 >= measured,
+        "static bound {bound} < measured average {measured:.2} cycles/iteration"
+    );
+    // Busy-path check: under back-to-back load the inter-send spacing is one
+    // full processing iteration, which must also fit under the bound.
+    let sends: Vec<u64> = tb.outputs().iter().map(|o| o.sent_at).collect();
+    let spacing = (sends[31] - sends[1]) as f64 / 30.0;
+    assert!(
+        bound as f64 >= spacing,
+        "static bound {bound} < busy spacing {spacing:.2} cycles/packet"
+    );
+    println!(
+        "forwarder: static {bound} cycles/iter, measured avg {measured:.2}, \
+         busy spacing {spacing:.2}"
+    );
+}
+
+#[test]
+fn firewall_wcet_bound_dominates_measured_cycles() {
+    let report = analyzer().check(&firewall_image());
+    let (header, bound) = single_loop_bound(&report);
+
+    let blacklist = synthetic_blacklist(64, 7);
+    let mut cfg = RosebudConfig::with_rpus(4);
+    cfg.slots_per_rpu = 64;
+    let mut tb = RpuTestbench::new(cfg);
+    tb.set_accelerator(Box::new(rosebud::accel::FirewallMatcher::from_prefixes(
+        &blacklist,
+    )));
+    tb.load_riscv(&firewall_image());
+    tb.rpu_mut().enable_profiling();
+    tb.step(100);
+    // Mix safe and blacklisted sources so both loop paths execute.
+    let safe = PacketBuilder::new()
+        .src_ip([240, 1, 2, 3])
+        .tcp(1, 80)
+        .pad_to(256)
+        .build();
+    let bad = {
+        let mut ip = blacklist[0];
+        ip[3] = 200;
+        PacketBuilder::new()
+            .src_ip(ip)
+            .tcp(1, 80)
+            .pad_to(256)
+            .build()
+    };
+    for i in 0..32 {
+        tb.deliver(if i % 4 == 0 { &bad } else { &safe }).unwrap();
+    }
+    tb.step(8_000);
+    assert_eq!(tb.outputs().len(), 32, "burst must drain");
+
+    let measured = measured_loop_average(&tb, header);
+    assert!(
+        bound as f64 >= measured,
+        "static bound {bound} < measured average {measured:.2} cycles/iteration"
+    );
+    let sends: Vec<u64> = tb.outputs().iter().map(|o| o.sent_at).collect();
+    let spacing = (sends[31] - sends[1]) as f64 / 30.0;
+    assert!(
+        bound as f64 >= spacing,
+        "static bound {bound} < busy spacing {spacing:.2} cycles/packet"
+    );
+    println!(
+        "firewall: static {bound} cycles/iter, measured avg {measured:.2}, \
+         busy spacing {spacing:.2}"
+    );
+}

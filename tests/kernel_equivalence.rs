@@ -14,7 +14,9 @@
 //! (faults, supervisor-driven eviction/PR/reload against lanes that may be
 //! asleep when the host reaches in).
 
-use rosebud::apps::firewall::{build_firewall_system, firewall_trace, synthetic_blacklist, NoopGen};
+use rosebud::apps::firewall::{
+    build_firewall_system, firewall_trace, synthetic_blacklist, NoopGen,
+};
 use rosebud::apps::forwarder::{
     build_duty_cycle_forwarding_system, build_forwarding_system, build_watchdog_forwarding_system,
 };
@@ -30,8 +32,20 @@ use rosebud::net::{FixedSizeGen, ImixGen};
 fn kernels() -> Vec<(&'static str, KernelMode)> {
     vec![
         ("sequential", KernelMode::Sequential),
-        ("parallel-fused", KernelMode::Parallel { workers: 0, quantum: 1024 }),
-        ("parallel-threaded", KernelMode::Parallel { workers: 2, quantum: 256 }),
+        (
+            "parallel-fused",
+            KernelMode::Parallel {
+                workers: 0,
+                quantum: 1024,
+            },
+        ),
+        (
+            "parallel-threaded",
+            KernelMode::Parallel {
+                workers: 2,
+                quantum: 256,
+            },
+        ),
     ]
 }
 
@@ -94,8 +108,14 @@ fn assert_equivalent(scenario: &str, runs: &[(&str, Observed)]) {
             );
         }
         assert_eq!(got.ledger, oracle.ledger, "{scenario}: {name} ledger");
-        assert_eq!(got.diagnostics, oracle.diagnostics, "{scenario}: {name} diagnostics");
-        assert_eq!(got.measurement, oracle.measurement, "{scenario}: {name} measurement");
+        assert_eq!(
+            got.diagnostics, oracle.diagnostics,
+            "{scenario}: {name} diagnostics"
+        );
+        assert_eq!(
+            got.measurement, oracle.measurement,
+            "{scenario}: {name} measurement"
+        );
         assert_eq!(got.received, oracle.received, "{scenario}: {name} received");
         assert_eq!(got.injected, oracle.injected, "{scenario}: {name} injected");
         assert_eq!(got.drops, oracle.drops, "{scenario}: {name} drops");
@@ -104,8 +124,10 @@ fn assert_equivalent(scenario: &str, runs: &[(&str, Observed)]) {
 
 /// Runs `scenario` once per kernel and demands identical output.
 fn differential(scenario: &str, run: impl Fn(KernelMode) -> Observed) {
-    let runs: Vec<(&str, Observed)> =
-        kernels().into_iter().map(|(name, k)| (name, run(k))).collect();
+    let runs: Vec<(&str, Observed)> = kernels()
+        .into_iter()
+        .map(|(name, k)| (name, run(k)))
+        .collect();
     assert_equivalent(scenario, &runs);
     // Non-vacuity: the scenario must actually have produced events.
     assert!(
@@ -124,7 +146,10 @@ fn with_kernel(mut sys: Rosebud, kernel: KernelMode) -> Rosebud {
 fn forwarder_is_kernel_invariant() {
     differential("forwarder", |k| {
         let sys = with_kernel(build_forwarding_system(8).unwrap(), k);
-        observe(Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 60.0), 30_000)
+        observe(
+            Harness::new(sys, Box::new(FixedSizeGen::new(256, 2)), 60.0),
+            30_000,
+        )
     });
 }
 
@@ -133,7 +158,10 @@ fn forwarder_imix_is_kernel_invariant_across_seeds() {
     for seed in [1u64, 7, 42] {
         differential(&format!("forwarder-imix seed={seed}"), |k| {
             let sys = with_kernel(build_forwarding_system(16).unwrap(), k);
-            observe(Harness::new(sys, Box::new(ImixGen::new(2, seed)), 120.0), 25_000)
+            observe(
+                Harness::new(sys, Box::new(ImixGen::new(2, seed)), 120.0),
+                25_000,
+            )
         });
     }
 }
@@ -146,7 +174,10 @@ fn duty_cycle_forwarder_is_kernel_invariant() {
     for seed in [3u64, 19] {
         differential(&format!("duty-cycle seed={seed}"), |k| {
             let sys = with_kernel(build_duty_cycle_forwarding_system(16, 700).unwrap(), k);
-            observe(Harness::new(sys, Box::new(ImixGen::new(2, seed)), 8.0), 40_000)
+            observe(
+                Harness::new(sys, Box::new(ImixGen::new(2, seed)), 8.0),
+                40_000,
+            )
         });
     }
 }
@@ -235,7 +266,7 @@ fn host_pokes_against_sleeping_lanes_are_kernel_invariant() {
                         &rosebud::apps::forwarder::duty_cycle_forwarder_asm(300),
                     )
                     .unwrap();
-                    h.sys.load_rpu_firmware(4, &image);
+                    h.sys.load_rpu_firmware(4, &image).unwrap();
                 }
                 33_000 => h.sys.poke(7),
                 _ => {}

@@ -56,7 +56,11 @@ fn rolling_ids_ruleset_update_under_traffic() {
             assert!(waited < 400_000, "PR of RPU {r} never completed");
         }
     }
-    assert_eq!(h.sys.drop_count(), drops_before, "rolling update lost packets");
+    assert_eq!(
+        h.sys.drop_count(),
+        drops_before,
+        "rolling update lost packets"
+    );
 
     // The new ruleset is live: new-rule attacks now reach the host.
     h.run(80_000);
@@ -105,9 +109,11 @@ fn pigasus_tables_can_be_poked_through_host_memory_access() {
     // §7.1.2's other half: the framework can reach accelerator-local tables
     // at runtime through the host paths (here: the accelerator handle).
     let rules = synthetic_rules(8, 5);
-    let mut sys =
-        build_pigasus_system_with(ReorderMode::Hardware, rules, 4, 16).unwrap();
-    let accel = sys.rpu_mut(0).accelerator_mut().expect("accelerator installed");
+    let mut sys = build_pigasus_system_with(ReorderMode::Hardware, rules, 4, 16).unwrap();
+    let accel = sys
+        .rpu_mut(0)
+        .accelerator_mut()
+        .expect("accelerator installed");
     accel.load_table(0, &[0u8; 64]); // exercises the URAM write-port hook
     assert_eq!(accel.name(), "pigasus-mpse");
 }

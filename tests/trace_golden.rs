@@ -10,7 +10,9 @@
 
 use std::path::PathBuf;
 
-use rosebud::apps::firewall::{build_firewall_system, firewall_trace, synthetic_blacklist, NoopGen};
+use rosebud::apps::firewall::{
+    build_firewall_system, firewall_trace, synthetic_blacklist, NoopGen,
+};
 use rosebud::apps::forwarder::{build_forwarding_system, build_watchdog_forwarding_system};
 use rosebud::core::{FaultKind, FaultPlan, Harness, Supervisor, SupervisorConfig, TraceConfig};
 use rosebud::net::{FixedSizeGen, ImixGen};
@@ -19,7 +21,12 @@ use rosebud::net::{FixedSizeGen, ImixGen};
 /// this registry, and `golden_dir_has_no_orphans` refuses files under
 /// `tests/golden/` that no test reads — an orphaned snapshot silently
 /// stops guarding anything, which is worse than a missing one.
-const GOLDEN_SNAPSHOTS: &[&str] = &["forwarder.trace", "firewall.trace"];
+const GOLDEN_SNAPSHOTS: &[&str] = &[
+    "forwarder.trace",
+    "firewall.trace",
+    // Owned by tests/firmware_lint.rs (shipped-firmware lint reports).
+    "firmware.lint",
+];
 
 fn golden_path(name: &str) -> PathBuf {
     assert!(
@@ -148,9 +155,7 @@ fn firewall_trace_matches_golden() {
 /// under live IMIX traffic, walked through the full supervisor ladder.
 fn chaos_trace_text(traffic_seed: u64) -> String {
     let mut sys = build_watchdog_forwarding_system(8, 64).unwrap();
-    sys.install_fault_plan(
-        FaultPlan::new(7).at(20_000, FaultKind::FirmwareHang { rpu: 3 }),
-    );
+    sys.install_fault_plan(FaultPlan::new(7).at(20_000, FaultKind::FirmwareHang { rpu: 3 }));
     sys.enable_tracing(TraceConfig {
         counter_interval: 8192,
         pc_profile: false,
