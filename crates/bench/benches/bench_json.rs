@@ -9,9 +9,12 @@
 use rosebud_apps::forwarder::{build_forwarding_system, build_watchdog_forwarding_system};
 use rosebud_bench::sim_speed::{compare, Scenario};
 use rosebud_bench::{bench_output_path, json_f64, measure};
-use rosebud_core::{FaultKind, FaultPlan, Harness, Supervisor, SupervisorConfig};
+use rosebud_core::{
+    FaultKind, FaultPlan, Fleet, FleetConfig, FleetHarness, FleetSupervisor, FleetSupervisorConfig,
+    Harness, KernelMode, Supervisor, SupervisorConfig,
+};
 use rosebud_kernel::RateWindow;
-use rosebud_net::FixedSizeGen;
+use rosebud_net::{FixedSizeGen, FlowTrafficGen};
 
 /// One throughput point: saturating offered load, like the Fig. 7 sweep.
 struct Throughput {
@@ -106,6 +109,73 @@ fn recovery_point() -> Recovery {
     }
 }
 
+struct FleetBench {
+    boxes: usize,
+    aggregate_gbps: f64,
+    per_box_p99_ns: Vec<f64>,
+    failover_downtime_cycles: u64,
+    packets_purged: u64,
+    flows_disturbed: u64,
+    flows_seen: u64,
+}
+
+fn fleet_point() -> FleetBench {
+    // The rack-scale failover drill: 4 boxes behind the consistent-hashing
+    // front LB, one killed cold mid-run, measured after re-admission.
+    const BOXES: usize = 4;
+    let fleet = Fleet::new(
+        FleetConfig {
+            boxes: BOXES,
+            ..FleetConfig::default()
+        },
+        KernelMode::Sequential,
+        |_| build_watchdog_forwarding_system(4, 64).expect("valid config"),
+    )
+    .expect("valid fleet config");
+    let mut h = FleetHarness::new(
+        fleet,
+        Box::new(FlowTrafficGen::new(512, 256, 0.0, 11)),
+        60.0,
+    );
+    let mut sup = FleetSupervisor::with_config(
+        &h.fleet,
+        FleetSupervisorConfig {
+            drain_timeout: 4_000,
+            reload_cycles: 8_000,
+            ..FleetSupervisorConfig::default()
+        },
+    );
+    let run = |h: &mut FleetHarness, sup: &mut FleetSupervisor, cycles: u64| {
+        for _ in 0..cycles {
+            sup.poll(&mut h.fleet);
+            h.tick();
+        }
+    };
+    run(&mut h, &mut sup, 20_000);
+    h.fleet
+        .inject_fault(FaultKind::BoxCrash { device: BOXES / 2 });
+    let mut budget = 80_000u64;
+    while h.fleet.failovers().is_empty() && budget > 0 {
+        run(&mut h, &mut sup, 1_000);
+        budget -= 1_000;
+    }
+    h.begin_window();
+    run(&mut h, &mut sup, 30_000);
+    let m = h.measure();
+    let rec = h.fleet.failovers().first().copied().expect("one failover");
+    FleetBench {
+        boxes: BOXES,
+        aggregate_gbps: m.gbps,
+        per_box_p99_ns: (0..BOXES)
+            .map(|b| h.box_latency(b).percentile(99.0))
+            .collect(),
+        failover_downtime_cycles: rec.downtime,
+        packets_purged: rec.packets_purged,
+        flows_disturbed: rec.flows_resteered,
+        flows_seen: h.fleet.flows_seen(),
+    }
+}
+
 /// One kernel sim-speed point at 16 RPUs, decode cache on.
 struct SimSpeed {
     scenario: &'static str,
@@ -137,6 +207,7 @@ fn main() {
     let throughput: Vec<Throughput> = [64, 1500].into_iter().map(throughput_point).collect();
     let latency = latency_point();
     let recovery = recovery_point();
+    let fleet = fleet_point();
     let sim_speed = sim_speed_points();
 
     let mut json = String::from("{\n  \"benchmark\": \"rosebud\",\n  \"throughput\": [\n");
@@ -160,6 +231,19 @@ fn main() {
         "  \"recovery\": {{\"detection_latency_cycles\": {}, \"downtime_cycles\": {}, \
          \"packets_purged\": {}}},\n",
         recovery.detection_latency_cycles, recovery.downtime_cycles, recovery.packets_purged,
+    ));
+    let p99s: Vec<String> = fleet.per_box_p99_ns.iter().map(|v| json_f64(*v)).collect();
+    json.push_str(&format!(
+        "  \"fleet\": {{\"boxes\": {}, \"aggregate_gbps\": {}, \"per_box_p99_ns\": [{}], \
+         \"failover_downtime_cycles\": {}, \"packets_purged\": {}, \"flows_disturbed\": {}, \
+         \"flows_seen\": {}}},\n",
+        fleet.boxes,
+        json_f64(fleet.aggregate_gbps),
+        p99s.join(", "),
+        fleet.failover_downtime_cycles,
+        fleet.packets_purged,
+        fleet.flows_disturbed,
+        fleet.flows_seen,
     ));
     json.push_str("  \"sim_speed\": [\n");
     for (i, p) in sim_speed.iter().enumerate() {

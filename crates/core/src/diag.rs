@@ -173,6 +173,91 @@ impl Diagnostics {
     }
 }
 
+/// Per-box health summary inside a [`FleetDiagnostics`] snapshot.
+#[derive(Debug, Clone)]
+pub struct BoxHealth {
+    /// The fleet device index.
+    pub device: usize,
+    /// Whether the box's ring points are in rotation.
+    pub in_rotation: bool,
+    /// Whether the shell is frozen by an injected box crash.
+    pub crashed: bool,
+    /// Frames the box delivered (ports + host), lifetime including reloads.
+    pub delivered: u64,
+    /// Frames the box dropped with an accounted reason, lifetime.
+    pub dropped: u64,
+    /// Frames in flight inside the box right now.
+    pub in_flight: u64,
+    /// Frames queued on the front link toward the box (serializer + wire).
+    pub front_queue: u64,
+    /// Completed whole-box reloads.
+    pub reloads: u64,
+}
+
+/// A point-in-time diagnostic snapshot of a whole fleet — the per-box
+/// rollup of what [`Diagnostics`] reports for one box, plus the fleet-wide
+/// conservation ledger and flow-disturbance accounting.
+#[derive(Debug, Clone)]
+pub struct FleetDiagnostics {
+    /// Per-box health, indexed by device.
+    pub boxes: Vec<BoxHealth>,
+    /// The fleet-wide conservation ledger (see [`crate::Fleet::ledger`]).
+    pub ledger: Ledger,
+    /// Frames in flight fleet-wide (front links plus in-box).
+    pub in_flight: u64,
+    /// Distinct flows the front LB has steered.
+    pub flows_seen: u64,
+    /// Flows whose steering changed box at least once.
+    pub flows_resteered: u64,
+    /// Completed box failovers.
+    pub failovers: usize,
+}
+
+impl FleetDiagnostics {
+    /// Renders the fleet status table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for b in &self.boxes {
+            let _ = writeln!(
+                out,
+                "box {}: {}{} / {} delivered / {} dropped / {} in flight / \
+                 {} queued at front / {} reload(s)",
+                b.device,
+                if b.in_rotation {
+                    "in rotation"
+                } else {
+                    "drained"
+                },
+                if b.crashed { " (crashed)" } else { "" },
+                b.delivered,
+                b.dropped,
+                b.in_flight,
+                b.front_queue,
+                b.reloads,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "fleet ledger: {} in / {} originated / {} out / {} dropped / {} \
+             quarantined / {} purged / {} in flight",
+            self.ledger.injected,
+            self.ledger.originated,
+            self.ledger.delivered,
+            self.ledger.dropped,
+            self.ledger.corrupted,
+            self.ledger.purged,
+            self.in_flight,
+        );
+        let _ = writeln!(
+            out,
+            "flows: {} seen, {} re-steered; {} failover(s) completed",
+            self.flows_seen, self.flows_resteered, self.failovers,
+        );
+        out
+    }
+}
+
 impl Rosebud {
     /// Takes a diagnostic snapshot and classifies the dominant bottleneck.
     pub fn diagnostics(&self) -> Diagnostics {

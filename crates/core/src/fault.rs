@@ -49,6 +49,56 @@ pub enum FaultKind {
         /// Window length in cycles.
         cycles: Cycle,
     },
+    /// An entire box loses power or wedges at the shell level: every core,
+    /// MAC, and host path of the device freezes at once. Device-scale —
+    /// applied by [`crate::Fleet`]; a single-box system ignores it.
+    BoxCrash {
+        /// The fleet device that dies.
+        device: usize,
+    },
+    /// A device-scoped host-link outage: the box keeps forwarding but its
+    /// PCIe/DMA management path is down, so the per-box supervisor backs
+    /// off. Device-scale; ignored by single-box systems.
+    BoxHostOutage {
+        /// The affected fleet device.
+        device: usize,
+        /// Window length in cycles.
+        cycles: Cycle,
+    },
+    /// The front load-balancer link to one box flaps: nothing crosses the
+    /// link for the window, nothing is lost (frames wait in the link
+    /// queues). Device-scale; ignored by single-box systems.
+    FrontLinkFlap {
+        /// The affected fleet device.
+        device: usize,
+        /// Window length in cycles.
+        cycles: Cycle,
+    },
+    /// A slow-box brownout: the front link delivers into the box only every
+    /// `factor`-th cycle and health-probe round trips inflate by the same
+    /// factor. Device-scale; ignored by single-box systems.
+    BoxBrownout {
+        /// The affected fleet device.
+        device: usize,
+        /// Window length in cycles.
+        cycles: Cycle,
+        /// Slowdown factor (≥ 1; 1 is a no-op).
+        factor: u32,
+    },
+}
+
+impl FaultKind {
+    /// `true` for the device-scale faults a [`crate::Fleet`] applies itself
+    /// (a single box has no notion of the device they target).
+    pub fn is_device_scale(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::BoxCrash { .. }
+                | FaultKind::BoxHostOutage { .. }
+                | FaultKind::FrontLinkFlap { .. }
+                | FaultKind::BoxBrownout { .. }
+        )
+    }
 }
 
 /// A fault scheduled at an absolute cycle.
@@ -123,6 +173,37 @@ impl FaultPlan {
                 },
                 _ => FaultKind::HostDmaOutage {
                     cycles: 100 + rng.below(3_000),
+                },
+            };
+            plan = plan.at(at, kind);
+        }
+        plan
+    }
+
+    /// Generates a random device-scale plan of `events` faults over
+    /// `[0, horizon)` against a fleet of `num_boxes` devices — whole-box
+    /// crashes, box-scoped host outages, front-link flaps, and slow-box
+    /// brownouts. Fully determined by `seed`.
+    pub fn random_fleet(seed: u64, horizon: Cycle, num_boxes: usize, events: usize) -> Self {
+        let mut rng = SimRng::seed_from(seed ^ 0xB0F7_FA17);
+        let mut plan = Self::new(seed);
+        for _ in 0..events {
+            let at = rng.below(horizon.max(1));
+            let device = rng.below(num_boxes.max(1) as u64) as usize;
+            let kind = match rng.below(4) {
+                0 => FaultKind::BoxCrash { device },
+                1 => FaultKind::BoxHostOutage {
+                    device,
+                    cycles: 500 + rng.below(8_000),
+                },
+                2 => FaultKind::FrontLinkFlap {
+                    device,
+                    cycles: 100 + rng.below(3_000),
+                },
+                _ => FaultKind::BoxBrownout {
+                    device,
+                    cycles: 500 + rng.below(6_000),
+                    factor: 2 + rng.below(6) as u32,
                 },
             };
             plan = plan.at(at, kind);
@@ -221,6 +302,15 @@ impl FaultState {
         self.pending.drain(..split).collect()
     }
 
+    /// Inserts an event into the pending queue, keeping it sorted by cycle
+    /// with ties behind already-queued events (matching the stable sort of
+    /// plan installation). Used by [`crate::Rosebud::inject_fault`] to land
+    /// faults mid-run without replacing the installed plan.
+    pub fn schedule(&mut self, ev: FaultEvent) {
+        let idx = self.pending.partition_point(|e| e.at <= ev.at);
+        self.pending.insert(idx, ev);
+    }
+
     /// `true` once every event has triggered and every window has closed.
     pub fn quiescent(&self, now: Cycle) -> bool {
         self.pending.is_empty()
@@ -255,5 +345,27 @@ mod tests {
         assert_eq!(first[0].kind, FaultKind::FirmwareCrash { rpu: 0 });
         assert_eq!(state.due(100).len(), 1);
         assert!(state.quiescent(100));
+    }
+
+    #[test]
+    fn random_fleet_plans_are_reproducible_and_device_scale() {
+        let a = FaultPlan::random_fleet(11, 50_000, 4, 9);
+        let b = FaultPlan::random_fleet(11, 50_000, 4, 9);
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().iter().all(|e| e.kind.is_device_scale()));
+        assert!(!FaultKind::FirmwareHang { rpu: 0 }.is_device_scale());
+    }
+
+    #[test]
+    fn schedule_keeps_cycle_order() {
+        let plan = FaultPlan::new(0).at(50, FaultKind::FirmwareHang { rpu: 1 });
+        let mut state = FaultState::new(plan, 4, 2);
+        state.schedule(FaultEvent {
+            at: 10,
+            kind: FaultKind::BoxCrash { device: 0 },
+        });
+        let first = state.due(20);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].kind, FaultKind::BoxCrash { device: 0 });
     }
 }

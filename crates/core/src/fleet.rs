@@ -1,0 +1,1320 @@
+//! Fleet-level topology: N Rosebud boxes behind a consistent-hashing front
+//! load balancer, with device-scale fault injection and a drain-the-device
+//! supervisor ladder.
+//!
+//! The paper deploys one VCU1525 per middlebox (§6); a production rack runs
+//! many, fronted by an ECMP switch that hashes flows across boxes. This
+//! module reproduces that rack: [`Fleet`] steers flows over a
+//! [`ConsistentHashRing`](crate::ConsistentHashRing) onto per-box front
+//! links with real serialization and propagation delay, and
+//! [`FleetSupervisor`] runs the health-probe → mark-unhealthy → drain →
+//! whole-box PR-reload → probation ladder — the box-scale analogue of the
+//! per-RPU [`Supervisor`](crate::Supervisor) rungs.
+//!
+//! Everything is cycle-deterministic: the same seed and kernel produce the
+//! same steering decisions, fault timeline, supervisor log, and conservation
+//! ledger, under both the sequential and parallel kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use rosebud_core::{
+//!     Desc, Firmware, Fleet, FleetConfig, KernelMode, Rosebud, RosebudConfig, RpuIo, RpuProgram,
+//! };
+//!
+//! struct Fwd;
+//! impl Firmware for Fwd {
+//!     fn tick(&mut self, io: &mut RpuIo<'_>) {
+//!         if let Some(d) = io.rx_pop() {
+//!             io.charge(15);
+//!             io.send(Desc { port: d.port ^ 1, ..d });
+//!         }
+//!     }
+//! }
+//!
+//! let mut fleet = Fleet::new(
+//!     FleetConfig { boxes: 2, ..FleetConfig::default() },
+//!     KernelMode::Sequential,
+//!     |_| {
+//!         Rosebud::builder(RosebudConfig::with_rpus(2))
+//!             .firmware(|_| RpuProgram::Native(Box::new(Fwd)))
+//!             .build()
+//!             .unwrap()
+//!     },
+//! )
+//! .unwrap();
+//! fleet.run(100);
+//! assert_eq!(fleet.now(), 100);
+//! fleet.assert_conservation();
+//! ```
+
+use rosebud_kernel::{Cycle, DelayLine, KernelMode, Serializer};
+use rosebud_net::{extend_hash, flow_hash, Packet, ShardedFlowTable};
+
+use crate::diag::{BoxHealth, FleetDiagnostics};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, Ledger};
+use crate::lb::ConsistentHashRing;
+use crate::supervisor::{Supervisor, SupervisorConfig};
+use crate::system::Rosebud;
+use crate::trace::{FleetStep, TraceConfig};
+
+/// Topology knobs for a [`Fleet`].
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of Rosebud boxes behind the front LB.
+    pub boxes: usize,
+    /// Front-link serialization rate per box, bytes per cycle (50 B/cycle at
+    /// 4 ns/cycle is a 100 G cable, matching the testbed's cross-connects).
+    pub link_bytes_per_cycle: u64,
+    /// Front-link propagation delay in cycles (switch + cable).
+    pub link_latency: Cycle,
+    /// Frames the front link buffers before back-pressuring the tester.
+    pub link_capacity: usize,
+    /// Virtual nodes per box on the consistent-hash ring; more points mean
+    /// smoother spread and smaller disturbance per failover.
+    pub vnodes: usize,
+    /// Shards in the front LB's flow table.
+    pub flow_shards: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            boxes: 4,
+            link_bytes_per_cycle: 50,
+            link_latency: 64,
+            link_capacity: 64,
+            vnodes: 64,
+            flow_shards: 16,
+        }
+    }
+}
+
+/// One rack slot: a [`Rosebud`] DUT plus its front link and fault state.
+struct FleetBox {
+    sys: Rosebud,
+    /// Serialization stage of the front link (switch egress toward the box).
+    link: Serializer<Packet>,
+    /// Propagation stage of the front link.
+    wire: DelayLine<Packet>,
+    /// A frame popped off the wire that the box's RX FIFO refused; retried
+    /// before the wire is popped again so ordering is preserved.
+    hold: Option<Packet>,
+    /// Shell frozen by an injected whole-box crash; the box neither ticks
+    /// nor accepts frames until reloaded.
+    crashed: bool,
+    /// Dark during a whole-box PR reload; cleared by the supervisor.
+    offline: bool,
+    /// Front link down (flap) through this cycle.
+    flap_until: Cycle,
+    /// Ingress brownout through this cycle: frames are delivered to the box
+    /// only every `brownout_factor`-th cycle.
+    brownout_until: Cycle,
+    brownout_factor: u32,
+    /// Ledger rows folded in from incarnations retired by reloads, so
+    /// per-box lifetime counters survive the rebuild.
+    acc_delivered: u64,
+    acc_dropped: u64,
+    /// Completed whole-box reloads.
+    reloads: u64,
+}
+
+/// One entry of the fleet supervisor's failover log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetLogEntry {
+    /// Cycle of the transition.
+    pub at: Cycle,
+    /// The box it concerns.
+    pub device: usize,
+    /// The ladder step taken.
+    pub step: FleetStep,
+}
+
+/// A completed box failover, from detection to re-admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// The box that failed over.
+    pub device: usize,
+    /// Cycle the box was marked unhealthy (probe-miss threshold reached).
+    pub detected_at: Cycle,
+    /// Cycle the drain completed (clean or by deadline purge).
+    pub drained_at: Cycle,
+    /// Whether the drain completed without purging anything.
+    pub graceful: bool,
+    /// Frames destroyed by the deadline purge (front link plus in-box).
+    pub packets_purged: u64,
+    /// Cycle the box re-entered rotation after probation.
+    pub readmitted_at: Cycle,
+    /// `readmitted_at - detected_at`.
+    pub downtime: Cycle,
+    /// Flows whose steering changed while the box was out of rotation.
+    pub flows_resteered: u64,
+}
+
+/// N Rosebud boxes behind a consistent-hashing ECMP front load balancer.
+///
+/// Frames enter via [`inject`](Self::inject): the front LB hashes the
+/// 5-tuple, extends it to 64 bits, and walks the ring to a live box; the
+/// frame then crosses that box's front link (serialization + propagation)
+/// before reaching the box's MACs. Delivered frames are collected per box
+/// with [`take_output`](Self::take_output).
+///
+/// A fleet-wide conservation ledger spans every frame ever steered:
+/// injected + originated == delivered + dropped + corrupted + purged +
+/// in-flight, asserted every 1024 cycles and on demand via
+/// [`assert_conservation`](Self::assert_conservation) — including across
+/// whole-box purges and reloads.
+pub struct Fleet {
+    cfg: FleetConfig,
+    kernel: KernelMode,
+    factory: Box<dyn Fn(usize) -> Rosebud>,
+    boxes: Vec<FleetBox>,
+    outputs: Vec<Vec<Packet>>,
+    ring: ConsistentHashRing,
+    flows: ShardedFlowTable,
+    /// `resteer_matrix[prev * boxes + new]`: flows whose steering moved from
+    /// box `prev` to box `new`.
+    resteer_matrix: Vec<u64>,
+    flows_seen: u64,
+    flows_resteered: u64,
+    /// Round-robin cursor for frames without a 5-tuple.
+    rr: u64,
+    pending_faults: Vec<FaultEvent>,
+    /// Frames the front LB accepted (fleet-scope `Ledger::injected`).
+    injected: u64,
+    /// Ledger rows folded in from box incarnations retired by reloads.
+    ledger_acc: Ledger,
+    log: Vec<FleetLogEntry>,
+    failovers: Vec<FailoverRecord>,
+    trace_cfg: Option<TraceConfig>,
+    archived_traces: Vec<String>,
+    now: Cycle,
+    ns_per_cycle: f64,
+}
+
+impl Fleet {
+    /// Builds a fleet of `cfg.boxes` systems, each produced by `factory`
+    /// (called with the device index) and stepped under `kernel`.
+    ///
+    /// Every box should expose the same port count; the front LB steers the
+    /// generator's port rotation unchanged, so a frame addressed to a port a
+    /// box lacks is refused at injection.
+    pub fn new<F>(cfg: FleetConfig, kernel: KernelMode, factory: F) -> Result<Self, String>
+    where
+        F: Fn(usize) -> Rosebud + 'static,
+    {
+        if cfg.boxes == 0 {
+            return Err("fleet needs at least one box".into());
+        }
+        if cfg.link_bytes_per_cycle == 0 {
+            return Err("front link rate must be nonzero".into());
+        }
+        if cfg.link_capacity == 0 {
+            return Err("front link capacity must be nonzero".into());
+        }
+        let factory: Box<dyn Fn(usize) -> Rosebud> = Box::new(factory);
+        let boxes: Vec<FleetBox> = (0..cfg.boxes)
+            .map(|b| {
+                let mut sys = factory(b);
+                sys.set_kernel(kernel);
+                FleetBox {
+                    sys,
+                    link: Serializer::new(cfg.link_bytes_per_cycle, cfg.link_capacity),
+                    wire: DelayLine::new(cfg.link_latency),
+                    hold: None,
+                    crashed: false,
+                    offline: false,
+                    flap_until: 0,
+                    brownout_until: 0,
+                    brownout_factor: 1,
+                    acc_delivered: 0,
+                    acc_dropped: 0,
+                    reloads: 0,
+                }
+            })
+            .collect();
+        let ns_per_cycle = boxes[0].sys.config().ns_per_cycle();
+        Ok(Self {
+            ring: ConsistentHashRing::new(cfg.boxes, cfg.vnodes),
+            flows: ShardedFlowTable::new(cfg.flow_shards),
+            resteer_matrix: vec![0; cfg.boxes * cfg.boxes],
+            flows_seen: 0,
+            flows_resteered: 0,
+            rr: 0,
+            pending_faults: Vec::new(),
+            injected: 0,
+            ledger_acc: Ledger::default(),
+            log: Vec::new(),
+            failovers: Vec::new(),
+            trace_cfg: None,
+            archived_traces: Vec::new(),
+            now: 0,
+            ns_per_cycle,
+            outputs: vec![Vec::new(); cfg.boxes],
+            kernel,
+            factory,
+            cfg,
+            boxes,
+        })
+    }
+
+    /// Number of boxes in the rack (live or not).
+    pub fn num_boxes(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Current fleet cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Nanoseconds per cycle (taken from box 0's clock).
+    pub fn ns_per_cycle(&self) -> f64 {
+        self.ns_per_cycle
+    }
+
+    /// The front LB's ring, for inspection.
+    pub fn ring(&self) -> &ConsistentHashRing {
+        self.ring_ref()
+    }
+
+    fn ring_ref(&self) -> &ConsistentHashRing {
+        &self.ring
+    }
+
+    /// Direct access to one box's system (e.g. for RPU-level inspection).
+    pub fn sys(&self, device: usize) -> &Rosebud {
+        &self.boxes[device].sys
+    }
+
+    /// Mutable access to one box's system.
+    pub fn sys_mut(&mut self, device: usize) -> &mut Rosebud {
+        &mut self.boxes[device].sys
+    }
+
+    /// Whether the box can be managed right now (not crashed, not dark in a
+    /// PR reload) — the fleet supervisor only drives per-RPU supervisors on
+    /// manageable boxes.
+    pub fn box_manageable(&self, device: usize) -> bool {
+        let b = &self.boxes[device];
+        !b.crashed && !b.offline
+    }
+
+    /// Whether the box's shell is frozen by an injected crash.
+    pub fn box_crashed(&self, device: usize) -> bool {
+        self.boxes[device].crashed
+    }
+
+    /// Completed whole-box reloads of `device`.
+    pub fn box_reloads(&self, device: usize) -> u64 {
+        self.boxes[device].reloads
+    }
+
+    /// Enables event tracing on every box (and on boxes rebuilt later).
+    /// Traces of retired incarnations are archived; see
+    /// [`archived_traces`](Self::archived_traces).
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = Some(cfg);
+        for b in &mut self.boxes {
+            b.sys.enable_tracing(cfg);
+        }
+    }
+
+    /// Compact trace texts of box incarnations retired by reloads.
+    pub fn archived_traces(&self) -> &[String] {
+        &self.archived_traces
+    }
+
+    /// Schedules device-scale fault events. Events whose
+    /// [`FaultKind::is_device_scale`] is false are ignored — RPU-scale
+    /// faults have no box address at fleet scope; inject them through
+    /// [`sys_mut`](Self::sys_mut) instead.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for ev in plan.events() {
+            if ev.kind.is_device_scale() {
+                self.schedule_fault(*ev);
+            }
+        }
+    }
+
+    /// Schedules one device-scale fault event, keeping the queue sorted.
+    pub fn schedule_fault(&mut self, ev: FaultEvent) {
+        let idx = self.pending_faults.partition_point(|e| e.at <= ev.at);
+        self.pending_faults.insert(idx, ev);
+    }
+
+    /// Injects a device-scale fault effective this cycle.
+    pub fn inject_fault(&mut self, kind: FaultKind) {
+        self.schedule_fault(FaultEvent { at: self.now, kind });
+    }
+
+    fn apply_due_faults(&mut self) {
+        while let Some(ev) = self.pending_faults.first() {
+            if ev.at > self.now {
+                break;
+            }
+            let ev = self.pending_faults.remove(0);
+            self.apply_fault(ev.kind);
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::BoxCrash { device } => {
+                if let Some(b) = self.boxes.get_mut(device) {
+                    b.crashed = true;
+                }
+            }
+            FaultKind::BoxHostOutage { device, cycles } => {
+                if let Some(b) = self.boxes.get_mut(device) {
+                    if !b.crashed && !b.offline {
+                        b.sys.inject_fault(FaultKind::HostDmaOutage { cycles });
+                    }
+                }
+            }
+            FaultKind::FrontLinkFlap { device, cycles } => {
+                if let Some(b) = self.boxes.get_mut(device) {
+                    b.flap_until = b.flap_until.max(self.now + cycles);
+                }
+            }
+            FaultKind::BoxBrownout {
+                device,
+                cycles,
+                factor,
+            } => {
+                if let Some(b) = self.boxes.get_mut(device) {
+                    b.brownout_until = b.brownout_until.max(self.now + cycles);
+                    // Last writer wins on the slowdown factor.
+                    b.brownout_factor = factor.max(1);
+                }
+            }
+            // RPU-scale kinds are not addressable at fleet scope.
+            _ => {}
+        }
+    }
+
+    /// Steers one frame through the front LB onto a box's front link.
+    ///
+    /// `Err(pkt)` hands the frame back when the chosen box's front link is
+    /// full — the ECMP switch back-pressuring the tester. Flow-to-box
+    /// ownership is recorded only for accepted frames.
+    pub fn inject(&mut self, pkt: Packet) -> Result<(), Packet> {
+        let key = flow_hash(&pkt).map(extend_hash);
+        let device = match key {
+            Some(k) => self.ring.node_for(k),
+            None => {
+                // No 5-tuple: round-robin over live boxes so control frames
+                // don't all pile onto one device.
+                let live = self.ring.live_count().max(1) as u64;
+                let mut pick = self.rr % live;
+                self.rr = self.rr.wrapping_add(1);
+                let mut device = 0;
+                for (b, _) in self.boxes.iter().enumerate() {
+                    if self.ring.is_live(b) {
+                        if pick == 0 {
+                            device = b;
+                            break;
+                        }
+                        pick -= 1;
+                    }
+                }
+                device
+            }
+        };
+        let wire = pkt.wire_len();
+        match self.boxes[device].link.push(pkt, wire, self.now) {
+            Ok(()) => {
+                self.injected += 1;
+                if let Some(k) = key {
+                    match self.flows.insert(k, device as u16) {
+                        None => self.flows_seen += 1,
+                        Some(prev) if prev as usize != device => {
+                            self.flows_resteered += 1;
+                            self.resteer_matrix[prev as usize * self.cfg.boxes + device] += 1;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                Ok(())
+            }
+            Err(pkt) => Err(pkt),
+        }
+    }
+
+    /// Advances the whole rack one cycle: due faults fire, every front link
+    /// moves, every live box ticks, and the fleet ledger is spot-checked.
+    pub fn tick(&mut self) {
+        self.apply_due_faults();
+        let now = self.now;
+        for b in 0..self.boxes.len() {
+            self.tick_box(b, now);
+        }
+        if now.is_multiple_of(1024) {
+            self.assert_conservation();
+        }
+        self.now += 1;
+    }
+
+    fn tick_box(&mut self, device: usize, now: Cycle) {
+        let bx = &mut self.boxes[device];
+        let flapped = bx.flap_until > now;
+        let browned = bx.brownout_until > now;
+        let gate = u64::from(bx.brownout_factor.max(1));
+        // Ingress gating: a flapped link delivers nothing; a browned-out box
+        // accepts frames only every `factor`-th cycle.
+        let deliver =
+            !bx.crashed && !bx.offline && !flapped && (!browned || now.is_multiple_of(gate));
+        if deliver {
+            loop {
+                let pkt = match bx.hold.take() {
+                    Some(p) => p,
+                    None => match bx.wire.pop_ready(now) {
+                        Some(p) => p,
+                        None => break,
+                    },
+                };
+                match bx.sys.inject(pkt) {
+                    Ok(()) => {}
+                    Err(p) => {
+                        bx.hold = Some(p);
+                        break;
+                    }
+                }
+            }
+        }
+        if !flapped {
+            // Frames finishing serialization enter the propagation stage.
+            while let Some(pkt) = bx.link.pop_ready(now) {
+                bx.wire.push(pkt, now);
+            }
+        }
+        if !bx.crashed && !bx.offline {
+            bx.sys.tick();
+            let ports = bx.sys.config().num_ports;
+            let out = &mut self.outputs[device];
+            for p in 0..ports {
+                out.extend(bx.sys.take_output(p));
+            }
+            out.extend(bx.sys.take_host_packets());
+        }
+    }
+
+    /// Runs `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Drains the frames box `device` delivered since the last call
+    /// (physical ports and host alike).
+    pub fn take_output(&mut self, device: usize) -> Vec<Packet> {
+        std::mem::take(&mut self.outputs[device])
+    }
+
+    /// Whether box `device` and its front link hold no frames — the drain
+    /// ladder's completion test. A crashed box never quiesces (its in-flight
+    /// frames are frozen until the reload purges them).
+    pub fn box_quiesced(&self, device: usize) -> bool {
+        let b = &self.boxes[device];
+        b.link.is_empty()
+            && b.wire.is_empty()
+            && b.hold.is_none()
+            && !b.crashed
+            && b.sys.ledger_in_flight() == 0
+    }
+
+    /// Frames queued on box `device`'s front link (serializer + wire + the
+    /// retry slot).
+    pub fn front_queue(&self, device: usize) -> u64 {
+        let b = &self.boxes[device];
+        (b.link.len() + b.wire.len() + usize::from(b.hold.is_some())) as u64
+    }
+
+    /// The health-probe model: round-trip cycles for a probe to box
+    /// `device`, or `None` if the box is unreachable (crashed, dark in a
+    /// reload, or its front link is flapped). A brownout inflates the RTT by
+    /// its slowdown factor, so a browned-out box looks slow, not dead.
+    pub fn probe_rtt(&self, device: usize) -> Option<Cycle> {
+        let b = &self.boxes[device];
+        if b.crashed || b.offline || b.flap_until > self.now {
+            return None;
+        }
+        let mut rtt = 2 * self.cfg.link_latency + 16;
+        if b.brownout_until > self.now {
+            rtt *= Cycle::from(b.brownout_factor.max(1));
+        }
+        Some(rtt)
+    }
+
+    /// Whether a probe to `device` completes within `timeout` cycles.
+    pub fn probe_ok(&self, device: usize, timeout: Cycle) -> bool {
+        self.probe_rtt(device).is_some_and(|rtt| rtt <= timeout)
+    }
+
+    /// Takes box `device` out of the steering ring (drain). The last live
+    /// box is never removed — with nowhere to re-steer, traffic keeps
+    /// aiming at it and back-pressures the tester instead.
+    pub fn ring_remove(&mut self, device: usize) {
+        if self.ring.is_live(device) && self.ring.live_count() > 1 {
+            self.ring.remove(device);
+        }
+    }
+
+    /// Returns box `device`'s ring points to rotation.
+    pub fn ring_restore(&mut self, device: usize) {
+        self.ring.restore(device);
+    }
+
+    /// Purges box `device`'s front link and in-flight frames into the fleet
+    /// ledger, archives its trace, and rebuilds it from the factory. The box
+    /// comes back dark ([`box_manageable`](Self::box_manageable) is false)
+    /// until [`finish_reload`](Self::finish_reload). Returns the number of
+    /// frames purged.
+    pub fn begin_reload(&mut self, device: usize) -> u64 {
+        let bx = &mut self.boxes[device];
+        let mut purged = (bx.link.flush() + bx.wire.flush()) as u64;
+        if bx.hold.take().is_some() {
+            purged += 1;
+        }
+        purged += bx.sys.ledger_in_flight();
+        // Fold the retiring incarnation's ledger into the fleet accumulator
+        // so lifetime conservation spans the reload.
+        let l = bx.sys.ledger();
+        self.ledger_acc.originated += l.originated;
+        self.ledger_acc.delivered += l.delivered;
+        self.ledger_acc.dropped += l.dropped;
+        self.ledger_acc.corrupted += l.corrupted;
+        self.ledger_acc.purged += l.purged + purged;
+        bx.acc_delivered += l.delivered;
+        bx.acc_dropped += l.dropped;
+        if self.trace_cfg.is_some() {
+            if let Some(t) = bx.sys.take_tracer() {
+                self.archived_traces.push(format!(
+                    "=== box {device} incarnation {} ===\n{}",
+                    bx.reloads,
+                    t.compact_text()
+                ));
+            }
+        }
+        let mut sys = (self.factory)(device);
+        sys.set_kernel(self.kernel);
+        if let Some(tc) = self.trace_cfg {
+            sys.enable_tracing(tc);
+        }
+        let bx = &mut self.boxes[device];
+        bx.sys = sys;
+        bx.crashed = false;
+        bx.offline = true;
+        bx.reloads += 1;
+        purged
+    }
+
+    /// Brings a reloaded box out of the dark: it starts ticking (firmware
+    /// boots) but stays out of rotation until the supervisor re-admits it.
+    pub fn finish_reload(&mut self, device: usize) {
+        self.boxes[device].offline = false;
+    }
+
+    /// Appends one ladder transition to the fleet log.
+    pub fn log_step(&mut self, device: usize, step: FleetStep) {
+        self.log.push(FleetLogEntry {
+            at: self.now,
+            device,
+            step,
+        });
+    }
+
+    /// Records a completed failover.
+    pub fn log_failover(&mut self, rec: FailoverRecord) {
+        self.failovers.push(rec);
+    }
+
+    /// The fleet supervisor's ladder log.
+    pub fn log(&self) -> &[FleetLogEntry] {
+        &self.log
+    }
+
+    /// The ladder log rendered one transition per line — the fleet-scale
+    /// analogue of a box trace's supervisor lines.
+    pub fn log_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.log {
+            let _ = writeln!(out, "[{:>8}] box {}: {}", e.at, e.device, e.step);
+        }
+        out
+    }
+
+    /// Completed failovers, in completion order.
+    pub fn failovers(&self) -> &[FailoverRecord] {
+        &self.failovers
+    }
+
+    /// Distinct flows the front LB has steered.
+    pub fn flows_seen(&self) -> u64 {
+        self.flows_seen
+    }
+
+    /// Flows whose steering changed box at least once.
+    pub fn flows_resteered(&self) -> u64 {
+        self.flows_resteered
+    }
+
+    /// Flows re-steered from box `prev` to box `new`.
+    pub fn resteered_between(&self, prev: usize, new: usize) -> u64 {
+        self.resteer_matrix[prev * self.cfg.boxes + new]
+    }
+
+    /// The fleet-wide conservation ledger: every frame ever steered by the
+    /// front LB, summed across live box ledgers, retired incarnations, and
+    /// whole-box purges. `injected` counts front-LB acceptances (box-level
+    /// injections are interior hops, not entries).
+    pub fn ledger(&self) -> Ledger {
+        let mut l = self.ledger_acc;
+        l.injected = self.injected;
+        for b in &self.boxes {
+            let bl = b.sys.ledger();
+            l.originated += bl.originated;
+            l.delivered += bl.delivered;
+            l.dropped += bl.dropped;
+            l.corrupted += bl.corrupted;
+            l.purged += bl.purged;
+        }
+        l
+    }
+
+    /// Frames in flight fleet-wide: front links plus inside every box.
+    pub fn ledger_in_flight(&self) -> u64 {
+        let mut in_flight = 0;
+        for (b, _) in self.boxes.iter().enumerate() {
+            in_flight += self.front_queue(b) + self.boxes[b].sys.ledger_in_flight();
+        }
+        in_flight
+    }
+
+    /// Panics unless the fleet ledger balances:
+    /// `injected + originated == delivered + dropped + corrupted + purged +
+    /// in-flight`, across every box, front link, purge, and reload.
+    pub fn assert_conservation(&self) {
+        let l = self.ledger();
+        let in_flight = self.ledger_in_flight();
+        assert!(
+            l.balances(in_flight),
+            "fleet ledger out of balance at cycle {}: {:?} in_flight={}",
+            self.now,
+            l,
+            in_flight,
+        );
+    }
+
+    /// A point-in-time fleet health snapshot.
+    pub fn diagnostics(&self) -> FleetDiagnostics {
+        let boxes = self
+            .boxes
+            .iter()
+            .enumerate()
+            .map(|(d, b)| {
+                let l = b.sys.ledger();
+                BoxHealth {
+                    device: d,
+                    in_rotation: self.ring.is_live(d),
+                    crashed: b.crashed,
+                    delivered: b.acc_delivered + l.delivered,
+                    dropped: b.acc_dropped + l.dropped,
+                    in_flight: b.sys.ledger_in_flight(),
+                    front_queue: self.front_queue(d),
+                    reloads: b.reloads,
+                }
+            })
+            .collect();
+        FleetDiagnostics {
+            boxes,
+            ledger: self.ledger(),
+            in_flight: self.ledger_in_flight(),
+            flows_seen: self.flows_seen,
+            flows_resteered: self.flows_resteered,
+            failovers: self.failovers.len(),
+        }
+    }
+}
+
+/// Tuning knobs for the [`FleetSupervisor`] ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSupervisorConfig {
+    /// Cycles between health probes of a healthy box.
+    pub probe_interval: Cycle,
+    /// A probe RTT above this is a miss.
+    pub probe_timeout: Cycle,
+    /// Consecutive probe misses before a box is marked unhealthy.
+    pub unhealthy_probes: u32,
+    /// Consecutive healthy probes a reloaded box must pass in probation
+    /// before re-admission to the ring.
+    pub probation_probes: u32,
+    /// Base re-probe backoff after a miss; doubles per consecutive miss.
+    pub probe_backoff: Cycle,
+    /// Ceiling on the probe backoff.
+    pub probe_backoff_cap: Cycle,
+    /// How long a drain may run before the deadline purge.
+    pub drain_timeout: Cycle,
+    /// Cycles a whole-box PR reload keeps the box dark (the full-bitstream
+    /// cost; per-RPU PR inside a box is two orders cheaper, §5.4).
+    pub reload_cycles: Cycle,
+    /// Config for the per-box RPU supervisors the fleet ladder drives.
+    pub rpu: SupervisorConfig,
+}
+
+impl Default for FleetSupervisorConfig {
+    fn default() -> Self {
+        Self {
+            probe_interval: 1_024,
+            probe_timeout: 256,
+            unhealthy_probes: 3,
+            probation_probes: 3,
+            probe_backoff: 256,
+            probe_backoff_cap: 8_192,
+            drain_timeout: 8_192,
+            reload_cycles: 25_000,
+            rpu: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// Per-box position on the fleet ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoxRung {
+    Healthy,
+    Draining { deadline: Cycle },
+    Reloading { done_at: Cycle },
+    Probation,
+}
+
+struct BoxWatch {
+    rung: BoxRung,
+    /// Consecutive probe misses on the current rung.
+    misses: u32,
+    /// Consecutive healthy probes in probation.
+    streak: u32,
+    next_probe: Cycle,
+    detected_at: Cycle,
+    drained_at: Cycle,
+    graceful: bool,
+    purged: u64,
+    resteered_at_detect: u64,
+}
+
+/// The fleet-scale recovery ladder: health probes with deterministic
+/// timeout/backoff → mark-unhealthy → drain (ring removal re-steers only the
+/// failed box's flows; in-flight frames complete against the ledger) →
+/// whole-box PR reload → probation → re-admission.
+///
+/// It also drives one per-RPU [`Supervisor`] per manageable box, so the
+/// intra-box ladder (§3.4's poke → drain → evict → PR) keeps running
+/// underneath the fleet ladder.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_core::{
+///     Fleet, FleetConfig, FleetSupervisor, KernelMode, Rosebud, RosebudConfig, RpuProgram,
+/// };
+/// use rosebud_riscv::assemble;
+///
+/// let spin = assemble("spin: j spin").unwrap();
+/// let mut fleet = Fleet::new(
+///     FleetConfig { boxes: 2, ..FleetConfig::default() },
+///     KernelMode::Sequential,
+///     move |_| {
+///         Rosebud::builder(RosebudConfig::with_rpus(2))
+///             .firmware({
+///                 let spin = spin.clone();
+///                 move |_| RpuProgram::Riscv(spin.clone())
+///             })
+///             .build()
+///             .unwrap()
+///     },
+/// )
+/// .unwrap();
+/// let mut sup = FleetSupervisor::new(&fleet);
+/// for _ in 0..5_000 {
+///     sup.poll(&mut fleet);
+///     fleet.tick();
+/// }
+/// assert!(!sup.recovering(), "a healthy fleet stays off the ladder");
+/// ```
+pub struct FleetSupervisor {
+    cfg: FleetSupervisorConfig,
+    watch: Vec<BoxWatch>,
+    rpu_sups: Vec<Supervisor>,
+}
+
+impl FleetSupervisor {
+    /// A supervisor over `fleet` with default knobs.
+    pub fn new(fleet: &Fleet) -> Self {
+        Self::with_config(fleet, FleetSupervisorConfig::default())
+    }
+
+    /// A supervisor over `fleet` with explicit knobs.
+    pub fn with_config(fleet: &Fleet, cfg: FleetSupervisorConfig) -> Self {
+        let n = fleet.num_boxes();
+        Self {
+            watch: (0..n)
+                .map(|_| BoxWatch {
+                    rung: BoxRung::Healthy,
+                    misses: 0,
+                    streak: 0,
+                    next_probe: cfg.probe_interval,
+                    detected_at: 0,
+                    drained_at: 0,
+                    graceful: true,
+                    purged: 0,
+                    resteered_at_detect: 0,
+                })
+                .collect(),
+            rpu_sups: (0..n)
+                .map(|b| Supervisor::with_config(fleet.sys(b), cfg.rpu))
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// Whether any box is on a ladder rung other than healthy.
+    pub fn recovering(&self) -> bool {
+        self.watch.iter().any(|w| w.rung != BoxRung::Healthy)
+    }
+
+    /// The per-RPU supervisor the fleet ladder runs inside box `device`.
+    pub fn rpu_supervisor(&self, device: usize) -> &Supervisor {
+        &self.rpu_sups[device]
+    }
+
+    fn backoff(&self, misses: u32) -> Cycle {
+        self.cfg
+            .probe_backoff
+            .checked_shl(misses.saturating_sub(1))
+            .unwrap_or(Cycle::MAX)
+            .min(self.cfg.probe_backoff_cap)
+    }
+
+    /// One supervisory step: drives the per-RPU supervisors on manageable
+    /// boxes, then advances each box's fleet-ladder rung. Call once per
+    /// cycle, before [`Fleet::tick`].
+    pub fn poll(&mut self, fleet: &mut Fleet) {
+        let now = fleet.now();
+        for b in 0..fleet.num_boxes() {
+            if fleet.box_manageable(b) {
+                self.rpu_sups[b].poll(fleet.sys_mut(b));
+            }
+        }
+        for b in 0..fleet.num_boxes() {
+            self.poll_box(fleet, b, now);
+        }
+    }
+
+    fn poll_box(&mut self, fleet: &mut Fleet, b: usize, now: Cycle) {
+        let rung = self.watch[b].rung;
+        match rung {
+            BoxRung::Healthy => {
+                if now < self.watch[b].next_probe {
+                    return;
+                }
+                if fleet.probe_ok(b, self.cfg.probe_timeout) {
+                    let w = &mut self.watch[b];
+                    w.misses = 0;
+                    w.next_probe = now + self.cfg.probe_interval;
+                } else {
+                    self.watch[b].misses += 1;
+                    let misses = self.watch[b].misses;
+                    fleet.log_step(b, FleetStep::ProbeMissed { streak: misses });
+                    if misses >= self.cfg.unhealthy_probes {
+                        fleet.log_step(b, FleetStep::MarkedUnhealthy);
+                        fleet.ring_remove(b);
+                        fleet.log_step(b, FleetStep::DrainStarted);
+                        let w = &mut self.watch[b];
+                        w.detected_at = now;
+                        w.resteered_at_detect = fleet.flows_resteered();
+                        w.misses = 0;
+                        w.rung = BoxRung::Draining {
+                            deadline: now + self.cfg.drain_timeout,
+                        };
+                    } else {
+                        self.watch[b].next_probe = now + self.backoff(misses);
+                    }
+                }
+            }
+            BoxRung::Draining { deadline } => {
+                if fleet.box_quiesced(b) {
+                    fleet.log_step(b, FleetStep::DrainedClean);
+                    self.watch[b].graceful = true;
+                } else if now >= deadline {
+                    self.watch[b].graceful = false;
+                } else {
+                    return;
+                }
+                let purged = fleet.begin_reload(b);
+                if purged > 0 {
+                    fleet.log_step(b, FleetStep::Purged { packets: purged });
+                }
+                fleet.log_step(b, FleetStep::Reloading);
+                // The rebuilt box gets a fresh per-RPU supervisor: the old
+                // one's watch state describes hardware that no longer exists.
+                self.rpu_sups[b] = Supervisor::with_config(fleet.sys(b), self.cfg.rpu);
+                let w = &mut self.watch[b];
+                w.purged = purged;
+                w.drained_at = now;
+                w.rung = BoxRung::Reloading {
+                    done_at: now + self.cfg.reload_cycles,
+                };
+            }
+            BoxRung::Reloading { done_at } => {
+                if now < done_at {
+                    return;
+                }
+                fleet.finish_reload(b);
+                fleet.log_step(b, FleetStep::Probation);
+                let w = &mut self.watch[b];
+                w.rung = BoxRung::Probation;
+                w.streak = 0;
+                w.misses = 0;
+                w.next_probe = now + self.cfg.probe_interval;
+            }
+            BoxRung::Probation => {
+                if now < self.watch[b].next_probe {
+                    return;
+                }
+                if fleet.probe_ok(b, self.cfg.probe_timeout) {
+                    self.watch[b].streak += 1;
+                    if self.watch[b].streak >= self.cfg.probation_probes {
+                        fleet.ring_restore(b);
+                        fleet.log_step(b, FleetStep::Readmitted);
+                        let w = &mut self.watch[b];
+                        let rec = FailoverRecord {
+                            device: b,
+                            detected_at: w.detected_at,
+                            drained_at: w.drained_at,
+                            graceful: w.graceful,
+                            packets_purged: w.purged,
+                            readmitted_at: now,
+                            downtime: now.saturating_sub(w.detected_at),
+                            flows_resteered: fleet
+                                .flows_resteered()
+                                .saturating_sub(w.resteered_at_detect),
+                        };
+                        w.rung = BoxRung::Healthy;
+                        w.misses = 0;
+                        w.next_probe = now + self.cfg.probe_interval;
+                        fleet.log_failover(rec);
+                    } else {
+                        self.watch[b].next_probe = now + self.cfg.probe_interval;
+                    }
+                } else {
+                    self.watch[b].streak = 0;
+                    self.watch[b].misses += 1;
+                    let misses = self.watch[b].misses;
+                    fleet.log_step(b, FleetStep::ProbeMissed { streak: misses });
+                    if misses >= self.cfg.unhealthy_probes {
+                        // A fresh fault landed on the rebuilt box before it
+                        // ever re-entered rotation: recycle it.
+                        let purged = fleet.begin_reload(b);
+                        if purged > 0 {
+                            fleet.log_step(b, FleetStep::Purged { packets: purged });
+                        }
+                        fleet.log_step(b, FleetStep::Reloading);
+                        self.rpu_sups[b] = Supervisor::with_config(fleet.sys(b), self.cfg.rpu);
+                        let w = &mut self.watch[b];
+                        w.purged += purged;
+                        w.misses = 0;
+                        w.rung = BoxRung::Reloading {
+                            done_at: now + self.cfg.reload_cycles,
+                        };
+                    } else {
+                        self.watch[b].next_probe = now + self.backoff(misses);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Paces a [`TrafficGen`](rosebud_net::TrafficGen) into a [`Fleet`] at a
+/// target aggregate load and aggregates delivery metrics, exactly like the
+/// single-box [`Harness`](crate::Harness) but with one shared byte budget
+/// across the rack and per-box latency histograms.
+pub struct FleetHarness {
+    /// The rack under test.
+    pub fleet: Fleet,
+    gen: Box<dyn rosebud_net::TrafficGen>,
+    target_gbps: f64,
+    budget_bytes: f64,
+    pending: Option<Packet>,
+    next_id: u64,
+    injected: u64,
+    received: u64,
+    window_start_cycle: Cycle,
+    window_injected: u64,
+    window_received: u64,
+    window_received_bytes: u64,
+    box_latency: Vec<rosebud_kernel::LatencyStats>,
+}
+
+impl FleetHarness {
+    /// A harness offering `target_gbps` of aggregate load from `gen` to the
+    /// whole rack. The generator's port rotation must stay within each box's
+    /// port count.
+    pub fn new(fleet: Fleet, gen: Box<dyn rosebud_net::TrafficGen>, target_gbps: f64) -> Self {
+        let boxes = fleet.num_boxes();
+        Self {
+            fleet,
+            gen,
+            target_gbps,
+            budget_bytes: 0.0,
+            pending: None,
+            next_id: 0,
+            injected: 0,
+            received: 0,
+            window_start_cycle: 0,
+            window_injected: 0,
+            window_received: 0,
+            window_received_bytes: 0,
+            box_latency: (0..boxes)
+                .map(|_| rosebud_kernel::LatencyStats::new())
+                .collect(),
+        }
+    }
+
+    /// Advances the rack one cycle, injecting paced traffic first.
+    pub fn tick(&mut self) {
+        let bytes_per_cycle = self.target_gbps / 8.0 * self.fleet.ns_per_cycle();
+        self.budget_bytes =
+            (self.budget_bytes + bytes_per_cycle).min(bytes_per_cycle.max(1.0) * 64.0 + 18_000.0);
+        loop {
+            if self.pending.is_none() {
+                let wire = (self.gen.next_size() as u64 + rosebud_net::WIRE_OVERHEAD_BYTES) as f64;
+                if self.budget_bytes < wire {
+                    break;
+                }
+                let pkt = self.gen.generate(self.next_id, self.fleet.now());
+                self.next_id += 1;
+                self.budget_bytes -= pkt.wire_len() as f64;
+                self.pending = Some(pkt);
+            }
+            let pkt = self.pending.take().expect("set above");
+            match self.fleet.inject(pkt) {
+                Ok(()) => {
+                    self.injected += 1;
+                    self.window_injected += 1;
+                }
+                Err(pkt) => {
+                    self.pending = Some(pkt);
+                    break;
+                }
+            }
+        }
+
+        self.fleet.tick();
+
+        let now = self.fleet.now();
+        let ns_per_cycle = self.fleet.ns_per_cycle();
+        for b in 0..self.fleet.num_boxes() {
+            for pkt in self.fleet.take_output(b) {
+                self.received += 1;
+                self.window_received += 1;
+                self.window_received_bytes += pkt.len();
+                self.box_latency[b].record((now.saturating_sub(pkt.ts_gen)) as f64 * ns_per_cycle);
+            }
+        }
+    }
+
+    /// Runs `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Starts a measurement window (call after warm-up).
+    pub fn begin_window(&mut self) {
+        self.window_start_cycle = self.fleet.now();
+        self.window_injected = 0;
+        self.window_received = 0;
+        self.window_received_bytes = 0;
+        for l in &mut self.box_latency {
+            *l = rosebud_kernel::LatencyStats::new();
+        }
+    }
+
+    /// Results since [`begin_window`](Self::begin_window), aggregated across
+    /// the rack.
+    pub fn measure(&self) -> crate::harness::Measurement {
+        let cycles = self
+            .fleet
+            .now()
+            .saturating_sub(self.window_start_cycle)
+            .max(1);
+        let secs = cycles as f64 * self.fleet.ns_per_cycle() / 1e9;
+        crate::harness::Measurement {
+            gbps: self.window_received_bytes as f64 * 8.0 / secs / 1e9,
+            mpps: self.window_received as f64 / secs / 1e6,
+            packets: self.window_received,
+            injected: self.window_injected,
+            cycles,
+        }
+    }
+
+    /// Round-trip latency samples for frames box `device` delivered since
+    /// the window began, in nanoseconds.
+    pub fn box_latency(&mut self, device: usize) -> &mut rosebud_kernel::LatencyStats {
+        &mut self.box_latency[device]
+    }
+
+    /// All-time injected frame count.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// All-time received frame count.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rosebud_net::FixedSizeGen;
+
+    use crate::rpu::RpuIo;
+    use crate::system::RpuProgram;
+    use crate::types::Desc;
+    use crate::{Firmware, RosebudConfig};
+
+    struct PacedForwarder;
+    impl Firmware for PacedForwarder {
+        fn tick(&mut self, io: &mut RpuIo<'_>) {
+            if let Some(desc) = io.rx_pop() {
+                io.charge(15);
+                io.send(Desc {
+                    port: desc.port ^ 1,
+                    ..desc
+                });
+            }
+        }
+    }
+
+    fn forwarder_box() -> Rosebud {
+        Rosebud::builder(RosebudConfig::with_rpus(2))
+            .firmware(|_| RpuProgram::Native(Box::new(PacedForwarder)))
+            .build()
+            .unwrap()
+    }
+
+    fn forwarder_fleet(boxes: usize) -> Fleet {
+        Fleet::new(
+            FleetConfig {
+                boxes,
+                ..FleetConfig::default()
+            },
+            KernelMode::Sequential,
+            |_| forwarder_box(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_forwards_and_conserves() {
+        let fleet = forwarder_fleet(2);
+        let mut h = FleetHarness::new(fleet, Box::new(FixedSizeGen::new(256, 2)), 40.0);
+        h.run(20_000);
+        assert!(h.received() > 1_000, "received {}", h.received());
+        h.fleet.assert_conservation();
+        assert!(h.fleet.flows_seen() > 0);
+    }
+
+    #[test]
+    fn crash_purge_reload_keeps_ledger_balanced() {
+        let fleet = forwarder_fleet(2);
+        let mut h = FleetHarness::new(fleet, Box::new(FixedSizeGen::new(256, 2)), 40.0);
+        let mut sup = FleetSupervisor::with_config(
+            &h.fleet,
+            FleetSupervisorConfig {
+                reload_cycles: 2_000,
+                ..FleetSupervisorConfig::default()
+            },
+        );
+        h.run(5_000);
+        h.fleet.inject_fault(FaultKind::BoxCrash { device: 1 });
+        for _ in 0..60_000 {
+            sup.poll(&mut h.fleet);
+            h.tick();
+        }
+        assert_eq!(h.fleet.failovers().len(), 1, "log:\n{}", h.fleet.log_text());
+        let rec = h.fleet.failovers()[0];
+        assert_eq!(rec.device, 1);
+        assert!(!rec.graceful, "a crash can never drain cleanly");
+        assert!(rec.packets_purged > 0);
+        assert!(h.fleet.box_reloads(1) >= 1);
+        assert!(!sup.recovering());
+        h.fleet.assert_conservation();
+    }
+
+    #[test]
+    fn flap_and_brownout_recover_without_losing_frames() {
+        let fleet = forwarder_fleet(2);
+        let mut h = FleetHarness::new(fleet, Box::new(FixedSizeGen::new(256, 2)), 30.0);
+        let mut sup = FleetSupervisor::with_config(
+            &h.fleet,
+            FleetSupervisorConfig {
+                reload_cycles: 2_000,
+                ..FleetSupervisorConfig::default()
+            },
+        );
+        h.run(2_000);
+        h.fleet.inject_fault(FaultKind::FrontLinkFlap {
+            device: 0,
+            cycles: 6_000,
+        });
+        h.fleet.inject_fault(FaultKind::BoxBrownout {
+            device: 1,
+            cycles: 6_000,
+            factor: 4,
+        });
+        for _ in 0..80_000 {
+            sup.poll(&mut h.fleet);
+            h.tick();
+        }
+        assert!(!sup.recovering(), "log:\n{}", h.fleet.log_text());
+        h.fleet.assert_conservation();
+        assert!(h.received() > 1_000);
+    }
+
+    #[test]
+    fn probe_model_reflects_box_state() {
+        let mut fleet = forwarder_fleet(2);
+        assert!(fleet.probe_ok(0, 256));
+        fleet.inject_fault(FaultKind::BoxCrash { device: 0 });
+        fleet.tick();
+        assert!(fleet.probe_rtt(0).is_none());
+        assert!(fleet.probe_ok(1, 256));
+        fleet.inject_fault(FaultKind::BoxBrownout {
+            device: 1,
+            cycles: 100,
+            factor: 4,
+        });
+        fleet.tick();
+        // 4 × (2·64 + 16) = 576 > 256: slow, not dead.
+        assert_eq!(fleet.probe_rtt(1), Some(576));
+        assert!(!fleet.probe_ok(1, 256));
+    }
+
+    #[test]
+    fn last_live_box_is_never_removed() {
+        let mut fleet = forwarder_fleet(2);
+        fleet.ring_remove(0);
+        assert_eq!(fleet.ring().live_count(), 1);
+        fleet.ring_remove(1);
+        assert!(
+            fleet.ring().is_live(1),
+            "last live box must stay in rotation"
+        );
+    }
+}

@@ -272,6 +272,118 @@ impl LoadBalancer for LeastLoadedLb {
     }
 }
 
+/// A consistent-hash ring with virtual nodes — the fleet's ECMP front load
+/// balancer policy.
+///
+/// Each member box contributes `vnodes` points on a 64-bit ring; a flow
+/// hash is steered to the first live point clockwise. Removing a box
+/// re-steers *only* the flows whose successor point belonged to that box
+/// (its points are skipped, not recomputed), and restoring it sends exactly
+/// those flows home again — the bounded-disturbance property the fleet
+/// failover tests assert.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_core::ConsistentHashRing;
+/// let mut ring = ConsistentHashRing::new(4, 64);
+/// let home = ring.node_for(0xABCD_EF01_2345_6789);
+/// ring.remove(home);
+/// assert_ne!(ring.node_for(0xABCD_EF01_2345_6789), home);
+/// ring.restore(home);
+/// assert_eq!(ring.node_for(0xABCD_EF01_2345_6789), home);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConsistentHashRing {
+    /// `(point, node)` sorted by point.
+    points: Vec<(u64, u16)>,
+    live: Vec<bool>,
+}
+
+impl ConsistentHashRing {
+    /// A ring over `nodes` members with `vnodes` points each, all live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `vnodes` is zero, or `nodes > u16::MAX`.
+    pub fn new(nodes: usize, vnodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(vnodes > 0, "need at least one virtual node");
+        assert!(nodes <= usize::from(u16::MAX), "node index must fit u16");
+        let mut points: Vec<(u64, u16)> = (0..nodes)
+            .flat_map(|n| (0..vnodes).map(move |v| (Self::point(n as u64, v as u64), n as u16)))
+            .collect();
+        points.sort_unstable();
+        Self {
+            points,
+            live: vec![true; nodes],
+        }
+    }
+
+    /// splitmix64 over the (node, replica) pair: deterministic, well-mixed
+    /// ring points.
+    fn point(node: u64, replica: u64) -> u64 {
+        let mut z = ((node << 32) | replica).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Takes a node's points out of rotation (drain). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would leave no live node — an ECMP group must always
+    /// have somewhere to steer.
+    pub fn remove(&mut self, node: usize) {
+        let was_live = self.live[node];
+        self.live[node] = false;
+        if self.live.iter().all(|l| !l) {
+            self.live[node] = was_live;
+            panic!("cannot remove the last live node from the ring");
+        }
+    }
+
+    /// Returns a node's points to rotation (re-admission). Idempotent.
+    pub fn restore(&mut self, node: usize) {
+        self.live[node] = true;
+    }
+
+    /// Whether a node is currently in rotation.
+    pub fn is_live(&self, node: usize) -> bool {
+        self.live[node]
+    }
+
+    /// Number of live members.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Total member count (live or not).
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when the ring has no members (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The live node owning `hash`: the first live point at or clockwise of
+    /// the hash, wrapping.
+    pub fn node_for(&self, hash: u64) -> usize {
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, node) = self.points[(start + i) % n];
+            if self.live[usize::from(node)] {
+                return usize::from(node);
+            }
+        }
+        unreachable!("ring always has a live node");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +501,56 @@ mod tests {
         }
         let mut lb = LeastLoadedLb::new();
         assert_eq!(lb.assign(&pkt(1), &tracker, 0b111), Some(2));
+    }
+
+    #[test]
+    fn ring_disturbance_is_bounded_to_the_removed_node() {
+        let mut ring = ConsistentHashRing::new(4, 64);
+        let hashes: Vec<u64> = (0..20_000u64)
+            .map(|i| rosebud_net::extend_hash(i as u32))
+            .collect();
+        let before: Vec<usize> = hashes.iter().map(|&h| ring.node_for(h)).collect();
+        ring.remove(2);
+        let mut moved = 0usize;
+        for (&h, &was) in hashes.iter().zip(&before) {
+            let now = ring.node_for(h);
+            if was != 2 {
+                assert_eq!(now, was, "flow not owned by the dead node moved");
+            } else {
+                assert_ne!(now, 2);
+                moved += 1;
+            }
+        }
+        // Roughly a quarter of flows lived on the removed node.
+        assert!((3_000..7_000).contains(&moved), "moved {moved}");
+        // Restoring sends exactly the displaced flows home.
+        ring.restore(2);
+        for (&h, &was) in hashes.iter().zip(&before) {
+            assert_eq!(ring.node_for(h), was);
+        }
+    }
+
+    #[test]
+    fn ring_spreads_load_roughly_evenly() {
+        let ring = ConsistentHashRing::new(4, 64);
+        let mut counts = [0usize; 4];
+        for i in 0..40_000u64 {
+            counts[ring.node_for(rosebud_net::extend_hash(i as u32))] += 1;
+        }
+        for (n, &c) in counts.iter().enumerate() {
+            assert!(
+                (5_000..=16_000).contains(&c),
+                "node {n} owns {c} of 40000 flows"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last live node")]
+    fn ring_refuses_to_empty() {
+        let mut ring = ConsistentHashRing::new(2, 8);
+        ring.remove(0);
+        ring.remove(1);
     }
 
     #[test]

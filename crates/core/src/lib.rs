@@ -50,6 +50,7 @@ mod config;
 mod diag;
 mod fabric;
 mod fault;
+mod fleet;
 mod harness;
 mod host;
 mod lane;
@@ -65,17 +66,21 @@ mod types;
 mod verify;
 
 pub use config::RosebudConfig;
-pub use diag::{Bottleneck, Diagnostics, RpuFaultKind};
+pub use diag::{Bottleneck, BoxHealth, Diagnostics, FleetDiagnostics, RpuFaultKind};
 pub use fabric::ByteFifo;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, Ledger};
+pub use fleet::{
+    FailoverRecord, Fleet, FleetConfig, FleetHarness, FleetLogEntry, FleetSupervisor,
+    FleetSupervisorConfig,
+};
 pub use harness::{Harness, Measurement};
 pub use host::{lb_regs, pr_reload_model, MemRegion, PrTimingModel};
-pub use lb::{HashLb, LeastLoadedLb, LoadBalancer, RoundRobinLb, SlotTracker};
+pub use lb::{ConsistentHashRing, HashLb, LeastLoadedLb, LoadBalancer, RoundRobinLb, SlotTracker};
 pub use rosebud_kernel::KernelMode;
 pub use rpu::{Firmware, PerfCounters, Rpu, RpuInner, RpuIo, RpuState};
 pub use supervisor::{RecoveryEvent, Supervisor, SupervisorConfig};
 pub use system::{AccelFactory, FirmwareFactory, Rosebud, RosebudBuilder, RpuProgram, Rpus};
 pub use testbench::{PacketReport, RpuTestbench, TxRecord};
-pub use trace::{SupervisorStep, TraceConfig, TraceEvent, Tracer};
+pub use trace::{FleetStep, SupervisorStep, TraceConfig, TraceEvent, Tracer};
 pub use types::{irq, memmap, port, BcastMsg, Desc, HostDmaReq, SlotMeta, SELF_TAG};
 pub use verify::{machine_spec, LintRecord, LoadPolicy, STACK_BYTES};

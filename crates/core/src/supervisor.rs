@@ -46,6 +46,10 @@ pub struct SupervisorConfig {
     /// before an RPU is declared hung (watchdog expiry declares it
     /// immediately).
     pub stall_polls: u32,
+    /// Grace period after a poke before the ladder escalates to eviction; a
+    /// transiently stuck core that shows life inside the grace is a false
+    /// alarm. Defaults to one poll interval.
+    pub poke_grace: Cycle,
     /// How long a graceful drain may take before forced eviction.
     pub drain_timeout: Cycle,
     /// Drop-rate trigger: an RPU whose drops exceed this share of its
@@ -53,6 +57,8 @@ pub struct SupervisorConfig {
     pub drop_fraction: f64,
     /// Base backoff after a failed host-link access; doubles per retry.
     pub backoff: Cycle,
+    /// Ceiling on the exponential host-link backoff.
+    pub backoff_cap: Cycle,
 }
 
 impl Default for SupervisorConfig {
@@ -60,9 +66,11 @@ impl Default for SupervisorConfig {
         Self {
             poll_interval: 512,
             stall_polls: 3,
+            poke_grace: 512,
             drain_timeout: 20_000,
             drop_fraction: 0.5,
             backoff: 512,
+            backoff_cap: 32_768,
         }
     }
 }
@@ -97,8 +105,12 @@ pub struct RecoveryEvent {
 enum Rung {
     /// No fault suspected.
     Healthy,
-    /// Poked and disabled; waiting one poll for signs of life.
-    Poked,
+    /// Poked and disabled; escalates to eviction at `until` unless the
+    /// region shows signs of life first.
+    Poked {
+        /// Cycle at which the grace period expires.
+        until: Cycle,
+    },
     /// Graceful eviction in progress; escalates at `deadline`.
     Draining {
         /// Cycle at which the drain is declared stuck.
@@ -204,8 +216,11 @@ impl Supervisor {
                 }
             }
             let attempts = self.watch.iter().map(|w| w.retries).max().unwrap_or(0);
-            backoff <<= attempts.min(6);
-            self.next_poll = now + backoff.min(self.cfg.poll_interval * 64);
+            backoff = backoff
+                .checked_shl(attempts)
+                .unwrap_or(Cycle::MAX)
+                .min(self.cfg.backoff_cap);
+            self.next_poll = now + backoff;
             return;
         }
         self.next_poll = now + self.cfg.poll_interval;
@@ -217,7 +232,7 @@ impl Supervisor {
     fn poll_rpu(&mut self, sys: &mut Rosebud, r: usize, now: Cycle) {
         match self.watch[r].rung {
             Rung::Healthy => self.detect(sys, r, now),
-            Rung::Poked => {
+            Rung::Poked { until } => {
                 // Did the poke shake it loose? Progress plus a live state
                 // means a false alarm (or a transient): put it back.
                 let rpu = &sys.rpus()[r];
@@ -229,8 +244,9 @@ impl Supervisor {
                     sys.trace_supervisor(r, SupervisorStep::FalseAlarm);
                     sys.enable_rpu(r);
                     self.finish(sys, r, now, /* rebooted */ false);
-                } else {
-                    // Rung 2: graceful eviction with a bounded drain.
+                } else if now >= until {
+                    // Rung 2: the grace expired — graceful eviction with a
+                    // bounded drain.
                     sys.trace_supervisor(r, SupervisorStep::DrainStarted);
                     sys.reconfigure_rpu_gated(r);
                     self.watch[r].rung = Rung::Draining {
@@ -344,7 +360,9 @@ impl Supervisor {
             sys.trace_supervisor(r, SupervisorStep::Detected(kind));
             sys.disable_rpu(r);
             sys.poke(r);
-            w.rung = Rung::Poked;
+            w.rung = Rung::Poked {
+                until: now + self.cfg.poke_grace,
+            };
         }
     }
 

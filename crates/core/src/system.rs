@@ -10,7 +10,7 @@ use rosebud_riscv::Image;
 
 use crate::config::RosebudConfig;
 use crate::fabric::{BcastArbiter, EgressItem, IngressItem, Loopback, PortState};
-use crate::fault::{FaultKind, FaultPlan, FaultState, Ledger};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultState, Ledger};
 use crate::lane::{lane_phase, Lane, LaneFx, RxFx, TxFx};
 use crate::lb::{LoadBalancer, SlotTracker};
 use crate::par::WorkerPool;
@@ -1042,7 +1042,10 @@ impl Rosebud {
                 FaultKind::HostDmaOutage { cycles } => {
                     fault.host_down_until = fault.host_down_until.max(now + cycles);
                 }
-                _ => {} // out-of-range target: the fault hits nothing
+                // Device-scale faults (box crash/outage/flap/brownout) are
+                // applied at fleet scope by `crate::Fleet`; a single box
+                // ignores them, as it does out-of-range targets.
+                _ => {}
             }
         }
     }
@@ -1336,6 +1339,22 @@ impl Rosebud {
     /// (relative to the current cycle) trigger on the next tick.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.fault = Some(FaultState::new(plan, self.lanes.len(), self.ports.len()));
+    }
+
+    /// Lands a single fault on the next tick without replacing any
+    /// installed plan — the path by which fleet-scope faults (a box-scoped
+    /// host outage, say) reach into an individual box mid-run. Creates an
+    /// empty fault state (fixed effect seed) when no plan was installed, so
+    /// determinism is unaffected by whether a plan exists.
+    pub fn inject_fault(&mut self, kind: FaultKind) {
+        let (num_rpus, num_ports) = (self.lanes.len(), self.ports.len());
+        let fault = self
+            .fault
+            .get_or_insert_with(|| FaultState::new(FaultPlan::new(0xF1E7), num_rpus, num_ports));
+        fault.schedule(FaultEvent {
+            at: self.clock.cycle(),
+            kind,
+        });
     }
 
     /// `true` once every installed fault has triggered and every fault

@@ -106,6 +106,55 @@ impl SupervisorStep {
     }
 }
 
+/// One transition of the fleet supervisor's drain-the-device ladder, as it
+/// appears in the fleet log ([`crate::Fleet::log_text`]). The per-box rungs
+/// mirror [`SupervisorStep`] one level up: probes stand in for the
+/// watchdog, the consistent-hash ring for the LB enable mask, and a whole-
+/// box PR reload for the region bitstream write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetStep {
+    /// A health probe timed out (or the box could not answer).
+    ProbeMissed {
+        /// Consecutive misses so far.
+        streak: u32,
+    },
+    /// Enough consecutive misses: the box is marked unhealthy and its ring
+    /// points leave rotation — new flows re-steer, in-flight completes.
+    MarkedUnhealthy,
+    /// The bounded drain of in-flight packets toward the box began.
+    DrainStarted,
+    /// The drain finished on its own: every in-flight frame delivered.
+    DrainedClean,
+    /// The drain deadline expired: front-link and in-box frames destroyed,
+    /// accounted as purged in the fleet ledger.
+    Purged {
+        /// Frames destroyed fleet-wide for this box.
+        packets: u64,
+    },
+    /// The whole-box PR reload/reboot is underway.
+    Reloading,
+    /// The rebuilt box is on probation, answering probes but carrying no
+    /// traffic yet.
+    Probation,
+    /// Enough consecutive healthy probes: the box's ring points are back.
+    Readmitted,
+}
+
+impl std::fmt::Display for FleetStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetStep::ProbeMissed { streak } => write!(f, "probe-missed streak={streak}"),
+            FleetStep::MarkedUnhealthy => f.write_str("marked-unhealthy"),
+            FleetStep::DrainStarted => f.write_str("drain"),
+            FleetStep::DrainedClean => f.write_str("drained-clean"),
+            FleetStep::Purged { packets } => write!(f, "purged packets={packets}"),
+            FleetStep::Reloading => f.write_str("reload"),
+            FleetStep::Probation => f.write_str("probation"),
+            FleetStep::Readmitted => f.write_str("readmitted"),
+        }
+    }
+}
+
 /// One recorded event. The cycle stamp lives alongside the event in the
 /// tracer's buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -84,6 +84,175 @@ pub fn flow_hash(pkt: &Packet) -> Option<u32> {
     FlowKey::of(pkt).map(|k| k.hash())
 }
 
+/// Extends a 32-bit flow hash to 64 bits with a splitmix64 finalizer —
+/// consistent-hash rings and sharded tables want far more than 32 bits of
+/// key space when tracking millions of flows.
+pub fn extend_hash(h: u32) -> u64 {
+    let mut z = (u64::from(h)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Compact sharded flow-state map: 64-bit flow key → 16-bit value (a box
+/// or RPU index), open-addressed within power-of-two shards.
+///
+/// The fleet layer keeps one entry per live flow to measure consistent-hash
+/// disturbance, and at millions of flows a `HashMap<FlowKey, _>` is both too
+/// fat (≥ 48 B/entry) and unshardable. Each entry here is 16 bytes, shards
+/// grow independently, and the shard index is derived from the top hash
+/// bits so the low bits stay free for in-shard probing.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_net::ShardedFlowTable;
+/// let mut t = ShardedFlowTable::new(8);
+/// assert_eq!(t.insert(0xfeed_beef, 3), None);
+/// assert_eq!(t.insert(0xfeed_beef, 5), Some(3)); // reassignment
+/// assert_eq!(t.get(0xfeed_beef), Some(5));
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedFlowTable {
+    shards: Vec<Shard>,
+    shard_shift: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Shard {
+    slots: Vec<Slot>,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    val: u16,
+    used: bool,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: 0,
+    val: 0,
+    used: false,
+};
+
+/// Initial in-shard capacity (slots); shards double at 3/4 load.
+const SHARD_INITIAL_SLOTS: usize = 64;
+
+impl ShardedFlowTable {
+    /// A table with `shards` shards, rounded up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let n = shards.next_power_of_two();
+        Self {
+            shards: vec![
+                Shard {
+                    slots: vec![EMPTY_SLOT; SHARD_INITIAL_SLOTS],
+                    len: 0,
+                };
+                n
+            ],
+            shard_shift: 64 - n.trailing_zeros(),
+        }
+    }
+
+    /// The shard a key lands in (top hash bits).
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (key >> self.shard_shift) as usize
+        }
+    }
+
+    /// Inserts or updates `key`, returning the previous value if the flow
+    /// was already tracked.
+    pub fn insert(&mut self, key: u64, val: u16) -> Option<u16> {
+        let s = self.shard_of(key);
+        let shard = &mut self.shards[s];
+        if (shard.len + 1) * 4 > shard.slots.len() * 3 {
+            shard.grow();
+        }
+        shard.insert(key, val)
+    }
+
+    /// The tracked value of `key`, if any.
+    pub fn get(&self, key: u64) -> Option<u16> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Total tracked flows across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len).sum()
+    }
+
+    /// `true` when no flow is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.len == 0)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Shard {
+    fn probe(&self, key: u64) -> usize {
+        // Low bits index the shard; the table's shard selector used only
+        // the top bits, so these stay well distributed.
+        let mask = self.slots.len() - 1;
+        let mut i = (key as usize) & mask;
+        loop {
+            let slot = &self.slots[i];
+            if !slot.used || slot.key == key {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: u16) -> Option<u16> {
+        let i = self.probe(key);
+        let slot = &mut self.slots[i];
+        if slot.used {
+            let prev = slot.val;
+            slot.val = val;
+            Some(prev)
+        } else {
+            *slot = Slot {
+                key,
+                val,
+                used: true,
+            };
+            self.len += 1;
+            None
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u16> {
+        let slot = &self.slots[self.probe(key)];
+        slot.used.then_some(slot.val)
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.slots);
+        self.slots = vec![EMPTY_SLOT; old.len() * 2];
+        self.len = 0;
+        for slot in old {
+            if slot.used {
+                self.insert(slot.key, slot.val);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +285,38 @@ mod tests {
     fn non_ip_has_no_flow() {
         let pkt = Packet::new(0, vec![0u8; 64], 0, 0);
         assert_eq!(flow_hash(&pkt), None);
+    }
+
+    #[test]
+    fn sharded_table_tracks_many_flows_across_shards() {
+        let mut t = ShardedFlowTable::new(16);
+        for i in 0..50_000u32 {
+            // Keys through the same extension the fleet uses.
+            assert_eq!(t.insert(extend_hash(i), (i % 7) as u16), None);
+        }
+        assert_eq!(t.len(), 50_000);
+        for i in 0..50_000u32 {
+            assert_eq!(t.get(extend_hash(i)), Some((i % 7) as u16));
+        }
+        // Shards must all carry a share: the selector uses top hash bits.
+        assert_eq!(t.num_shards(), 16);
+        let min_expected = 50_000 / 16 / 2;
+        for s in 0..16 {
+            let in_shard = (0..50_000u32)
+                .filter(|&i| t.shard_of(extend_hash(i)) == s)
+                .count();
+            assert!(in_shard > min_expected, "shard {s} only has {in_shard}");
+        }
+    }
+
+    #[test]
+    fn sharded_table_updates_return_previous_owner() {
+        let mut t = ShardedFlowTable::new(1);
+        assert_eq!(t.insert(42, 1), None);
+        assert_eq!(t.insert(42, 2), Some(1));
+        assert_eq!(t.insert(42, 2), Some(2));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
     }
 
     #[test]

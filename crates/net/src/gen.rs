@@ -330,6 +330,7 @@ pub struct ImixGen {
     total_weight: u32,
     rng: SimRng,
     ports: u8,
+    flows: u64,
     next_size: usize,
     counter: u64,
 }
@@ -359,11 +360,26 @@ impl ImixGen {
             total_weight,
             rng: SimRng::seed_from(seed),
             ports,
+            flows: 512,
             next_size: weights[0].0,
             counter: 0,
         };
         gen.roll();
         gen
+    }
+
+    /// Sets a floor on how many distinct 5-tuples to rotate through (the
+    /// default rotation covers 64 Ki source IPs × 512 source ports) —
+    /// fleet-scale runs spreading millions of flows over a consistent-hash
+    /// ring raise this to widen the source-IP rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows == 0`.
+    pub fn with_flows(mut self, flows: u32) -> Self {
+        assert!(flows > 0, "need at least one flow");
+        self.flows = u64::from(flows);
+        self
     }
 
     fn roll(&mut self) {
@@ -394,10 +410,14 @@ impl TrafficGen for ImixGen {
         self.roll();
         let n = self.counter;
         self.counter += 1;
+        // With the default 512-flow floor this reduces to the historical
+        // ([10, 2, n>>8, n], 20_000 + n%512) rotation byte-for-byte, so
+        // golden traces are unaffected.
+        let f = n % self.flows.max(65_536);
         PacketBuilder::new()
-            .src_ip([10, 2, (n >> 8) as u8, n as u8])
+            .src_ip([10, 2 + (f >> 16) as u8, (f >> 8) as u8, f as u8])
             .dst_ip([10, 3, 0, 1])
-            .udp(20_000 + (n % 512) as u16, 9)
+            .udp(20_000 + (n % self.flows.min(512)) as u16, 9)
             .pad_to(size)
             .port((n % u64::from(self.ports)) as u8)
             .build_with(id, ts)
@@ -517,6 +537,26 @@ mod tests {
         assert!((c576 - 4.0 / 12.0).abs() < 0.03, "576B fraction {c576}");
         assert!((c1500 - 1.0 / 12.0).abs() < 0.03, "1500B fraction {c1500}");
         assert!((ImixGen::new(1, 0).mean_size() - 354.33).abs() < 0.5);
+    }
+
+    #[test]
+    fn imix_flow_floor_widens_rotation_without_changing_defaults() {
+        // The default must keep the historical packet bytes exactly.
+        let mut narrow = ImixGen::new(2, 9);
+        let mut narrow2 = ImixGen::new(2, 9).with_flows(512);
+        for i in 0..2_000 {
+            assert_eq!(narrow.generate(i, 0).data, narrow2.generate(i, 0).data);
+        }
+        // A wide rotation must produce more distinct flow keys than the
+        // 64 Ki-IP default over the same span.
+        let mut wide = ImixGen::new(2, 9).with_flows(1 << 20);
+        let mut keys = std::collections::HashSet::new();
+        for i in 0..70_000 {
+            if let Some(k) = crate::flow_hash(&wide.generate(i, 0)) {
+                keys.insert(k);
+            }
+        }
+        assert!(keys.len() > 66_000, "only {} distinct flows", keys.len());
     }
 
     #[test]

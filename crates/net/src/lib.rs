@@ -37,7 +37,7 @@ mod pcap;
 mod trace;
 
 pub use builder::PacketBuilder;
-pub use flow::{flow_hash, FlowKey};
+pub use flow::{extend_hash, flow_hash, FlowKey, ShardedFlowTable};
 pub use gen::{AttackMixGen, FixedSizeGen, FlowTrafficGen, ImixGen, TrafficGen};
 pub use headers::{
     ipv4_checksum, EthHeader, EtherType, HeaderError, IpProtocol, Ipv4Header, TcpHeader, UdpHeader,

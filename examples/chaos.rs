@@ -9,12 +9,128 @@
 //! and the packet-conservation ledger proves nothing was lost untracked.
 //!
 //! Run with: `cargo run --release --example chaos`
+//!
+//! With `--fleet N` it runs the rack-scale drill instead: N boxes behind a
+//! consistent-hashing front LB, one box killed mid-run, the fleet supervisor
+//! walking probe → mark-unhealthy → drain → purge → whole-box reload →
+//! probation → re-admission while the survivors absorb the re-steered flows.
 
 use rosebud::apps::forwarder::build_watchdog_forwarding_system;
-use rosebud::core::{FaultKind, FaultPlan, Harness, Supervisor, SupervisorConfig};
-use rosebud::net::FixedSizeGen;
+use rosebud::core::{
+    FaultKind, FaultPlan, Fleet, FleetConfig, FleetHarness, FleetSupervisor, FleetSupervisorConfig,
+    Harness, KernelMode, Supervisor, SupervisorConfig,
+};
+use rosebud::net::{FixedSizeGen, FlowTrafficGen};
+
+fn fleet_main(boxes: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let killed = boxes / 2;
+    let fleet = Fleet::new(
+        FleetConfig {
+            boxes,
+            ..FleetConfig::default()
+        },
+        KernelMode::Sequential,
+        |_| build_watchdog_forwarding_system(4, 64).unwrap(),
+    )?;
+    let load = 15.0 * boxes as f64;
+    let mut h = FleetHarness::new(
+        fleet,
+        Box::new(FlowTrafficGen::new(512, 256, 0.0, 11)),
+        load,
+    );
+    let mut sup = FleetSupervisor::with_config(
+        &h.fleet,
+        FleetSupervisorConfig {
+            drain_timeout: 4_000,
+            reload_cycles: 8_000,
+            ..FleetSupervisorConfig::default()
+        },
+    );
+
+    println!(
+        "warming up {boxes} boxes (4 watchdog forwarders each) at {load:.0} Gbps aggregate ..."
+    );
+    let run = |h: &mut FleetHarness, sup: &mut FleetSupervisor, cycles: u64| {
+        for _ in 0..cycles {
+            sup.poll(&mut h.fleet);
+            h.tick();
+        }
+    };
+    run(&mut h, &mut sup, 20_000);
+    h.begin_window();
+    run(&mut h, &mut sup, 20_000);
+    let baseline = h.measure();
+    println!(
+        "baseline: {:.1} Gbps / {:.2} Mpps aggregate\n",
+        baseline.gbps, baseline.mpps
+    );
+
+    println!("killing box {killed} cold ...");
+    h.fleet.inject_fault(FaultKind::BoxCrash { device: killed });
+    let mut reported = 0;
+    let mut windows = Vec::new();
+    while h.fleet.failovers().is_empty() {
+        h.begin_window();
+        run(&mut h, &mut sup, 2_000);
+        windows.push(h.measure().gbps);
+        for e in &h.fleet.log()[reported..] {
+            println!("  [{:>7}] box {}: {}", e.at, e.device, e.step);
+        }
+        reported = h.fleet.log().len();
+    }
+
+    println!("\ndegraded-throughput timeline (2 000-cycle windows after the kill):");
+    for (i, gbps) in windows.iter().enumerate() {
+        println!(
+            "  window {:>2}: {:>6.1} Gbps ({:>3.0} % of baseline)",
+            i,
+            gbps,
+            100.0 * gbps / baseline.gbps
+        );
+    }
+
+    let rec = h.fleet.failovers()[0];
+    println!(
+        "\nfailover complete: detected @{}, drained @{} ({}), {} purged, \
+         re-admitted @{} — downtime {} cycles, {} of {} flows re-steered",
+        rec.detected_at,
+        rec.drained_at,
+        if rec.graceful { "clean" } else { "by deadline" },
+        rec.packets_purged,
+        rec.readmitted_at,
+        rec.downtime,
+        rec.flows_resteered,
+        h.fleet.flows_seen(),
+    );
+
+    h.begin_window();
+    run(&mut h, &mut sup, 20_000);
+    let recovered = h.measure();
+    println!(
+        "re-admitted: {:.1} Gbps aggregate ({:.0} % of baseline)\n",
+        recovered.gbps,
+        100.0 * recovered.gbps / baseline.gbps
+    );
+
+    print!("{}", h.fleet.diagnostics().render());
+    h.fleet.assert_conservation();
+    println!("fleet ledger balances — no packet left unaccounted.");
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--fleet") {
+        let boxes = args
+            .get(i + 1)
+            .map(|n| n.parse::<usize>())
+            .transpose()?
+            .unwrap_or(4);
+        if boxes < 2 {
+            return Err("--fleet needs at least 2 boxes".into());
+        }
+        return fleet_main(boxes);
+    }
     let mut sys = build_watchdog_forwarding_system(8, 64)?;
 
     // The schedule: every fault class the injector knows, overlapping.

@@ -13,10 +13,11 @@
 
 use rosebud::apps::forwarder::build_watchdog_forwarding_system;
 use rosebud::core::{
-    FaultKind, FaultPlan, Harness, Ledger, RecoveryEvent, RpuFaultKind, RpuState, Supervisor,
-    SupervisorConfig,
+    FailoverRecord, FaultKind, FaultPlan, Fleet, FleetConfig, FleetHarness, FleetSupervisor,
+    FleetSupervisorConfig, Harness, KernelMode, Ledger, RecoveryEvent, RpuFaultKind, RpuState,
+    Supervisor, SupervisorConfig,
 };
-use rosebud::net::FixedSizeGen;
+use rosebud::net::{FixedSizeGen, FlowTrafficGen};
 
 const RPUS: usize = 8;
 const WEDGED: usize = 3;
@@ -195,4 +196,214 @@ fn recovery_trace_is_deterministic() {
     assert_eq!(a.in_flight, b.in_flight);
     assert!((a.baseline_mpps - b.baseline_mpps).abs() < f64::EPSILON);
     assert!((a.degraded_mpps - b.degraded_mpps).abs() < f64::EPSILON);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level failover: the same drill one level up. Four boxes sit behind a
+// consistent-hashing front LB; a whole box crashes mid-run. The fleet
+// supervisor must miss its health probes, mark the box unhealthy, pull its
+// ring points (re-steering only that box's flows), purge what the dead shell
+// was holding, run the whole-box PR reload, and re-admit it after probation —
+// with the fleet-wide conservation ledger balanced throughout.
+
+const BOXES: usize = 4;
+const KILLED: usize = 2;
+const FLEET_LOAD_GBPS: f64 = 60.0;
+
+fn fleet_under_test(kernel: KernelMode) -> FleetHarness {
+    let fleet = Fleet::new(
+        FleetConfig {
+            boxes: BOXES,
+            ..FleetConfig::default()
+        },
+        kernel,
+        |_| build_watchdog_forwarding_system(4, 64).unwrap(),
+    )
+    .unwrap();
+    FleetHarness::new(
+        fleet,
+        Box::new(FlowTrafficGen::new(512, 256, 0.0, 11)),
+        FLEET_LOAD_GBPS,
+    )
+}
+
+fn fleet_supervisor(h: &FleetHarness) -> FleetSupervisor {
+    FleetSupervisor::with_config(
+        &h.fleet,
+        FleetSupervisorConfig {
+            drain_timeout: 4_000,
+            reload_cycles: 8_000,
+            ..FleetSupervisorConfig::default()
+        },
+    )
+}
+
+fn run_fleet(h: &mut FleetHarness, sup: &mut FleetSupervisor, cycles: u64) {
+    for _ in 0..cycles {
+        sup.poll(&mut h.fleet);
+        h.tick();
+    }
+}
+
+struct FleetTrace {
+    baseline_gbps: f64,
+    degraded_gbps: f64,
+    recovered_gbps: f64,
+    failovers: Vec<FailoverRecord>,
+    log_text: String,
+    flows_seen: u64,
+    cross_survivor_resteers: u64,
+    ledger: Ledger,
+    in_flight: u64,
+}
+
+fn run_fleet_scenario(kernel: KernelMode) -> FleetTrace {
+    let mut h = fleet_under_test(kernel);
+    let mut sup = fleet_supervisor(&h);
+
+    // Healthy baseline.
+    run_fleet(&mut h, &mut sup, 20_000);
+    h.begin_window();
+    run_fleet(&mut h, &mut sup, 20_000);
+    let baseline_gbps = h.measure().gbps;
+
+    // Kill a whole box. Detection needs three probe misses (~2k cycles),
+    // then drain runs to its 4k deadline (a crashed shell never quiesces).
+    h.fleet.inject_fault(FaultKind::BoxCrash { device: KILLED });
+    run_fleet(&mut h, &mut sup, 4_000);
+    h.begin_window();
+    run_fleet(&mut h, &mut sup, 10_000);
+    let degraded_gbps = h.measure().gbps;
+
+    // Let the reload and probation complete.
+    let mut budget = 40_000u64;
+    while h.fleet.failovers().is_empty() && budget > 0 {
+        run_fleet(&mut h, &mut sup, 1_000);
+        budget -= 1_000;
+    }
+    assert!(
+        !h.fleet.failovers().is_empty(),
+        "failover never completed; ladder log:\n{}",
+        h.fleet.log_text()
+    );
+
+    // Re-admitted: the fleet must carry full load again.
+    h.begin_window();
+    run_fleet(&mut h, &mut sup, 20_000);
+    let recovered_gbps = h.measure().gbps;
+
+    h.fleet.assert_conservation();
+    let mut cross_survivor_resteers = 0;
+    for prev in 0..BOXES {
+        for new in 0..BOXES {
+            if prev != KILLED && new != KILLED {
+                cross_survivor_resteers += h.fleet.resteered_between(prev, new);
+            }
+        }
+    }
+    FleetTrace {
+        baseline_gbps,
+        degraded_gbps,
+        recovered_gbps,
+        failovers: h.fleet.failovers().to_vec(),
+        log_text: h.fleet.log_text(),
+        flows_seen: h.fleet.flows_seen(),
+        cross_survivor_resteers,
+        ledger: h.fleet.ledger(),
+        in_flight: h.fleet.ledger_in_flight(),
+    }
+}
+
+#[test]
+fn box_crash_walks_the_fleet_ladder_and_readmits() {
+    let t = run_fleet_scenario(KernelMode::Sequential);
+
+    assert_eq!(t.failovers.len(), 1, "log:\n{}", t.log_text);
+    let rec = t.failovers[0];
+    assert_eq!(rec.device, KILLED);
+    assert!(!rec.graceful, "a crashed shell can never drain cleanly");
+    assert!(
+        rec.packets_purged > 0,
+        "the dead box was holding frames at 60 Gbps"
+    );
+    assert!(
+        rec.downtime >= 8_000,
+        "downtime must cover the whole-box reload, got {}",
+        rec.downtime
+    );
+    for step in [
+        "marked-unhealthy",
+        "drain",
+        "purged",
+        "reload",
+        "probation",
+        "readmitted",
+    ] {
+        assert!(
+            t.log_text.contains(step),
+            "ladder log is missing the {step} rung:\n{}",
+            t.log_text
+        );
+    }
+}
+
+#[test]
+fn fleet_throughput_survives_a_box_loss_and_returns() {
+    let t = run_fleet_scenario(KernelMode::Sequential);
+
+    // The acceptance bar: with 1 of 4 boxes gone, the survivors must absorb
+    // at least 3/4 of the baseline. (Re-steering is immediate once the ring
+    // points are pulled, so in practice they absorb nearly all of it.)
+    let degraded_ratio = t.degraded_gbps / t.baseline_gbps;
+    assert!(
+        degraded_ratio >= 0.75,
+        "degraded throughput below 3/4 of baseline: {:.1} of {:.1} Gbps (ratio {:.3})",
+        t.degraded_gbps,
+        t.baseline_gbps,
+        degraded_ratio
+    );
+    let recovered_ratio = t.recovered_gbps / t.baseline_gbps;
+    assert!(
+        recovered_ratio >= 0.95,
+        "throughput must return after re-admission: {:.1} of {:.1} Gbps",
+        t.recovered_gbps,
+        t.baseline_gbps
+    );
+}
+
+#[test]
+fn only_the_dead_boxs_flows_are_disturbed() {
+    let t = run_fleet_scenario(KernelMode::Sequential);
+
+    // Consistent hashing's whole point: flows between two surviving boxes
+    // never move. Every re-steer must involve the killed box as source
+    // (drain) or destination (re-admission homecoming).
+    assert_eq!(
+        t.cross_survivor_resteers, 0,
+        "flows moved between surviving boxes"
+    );
+    let rec = t.failovers[0];
+    assert!(
+        rec.flows_resteered > 0,
+        "the dead box owned flows; someone had to inherit them"
+    );
+    assert!(
+        rec.flows_resteered <= t.flows_seen / 2,
+        "one box of four should strand roughly a quarter of flows, not {} of {}",
+        rec.flows_resteered,
+        t.flows_seen
+    );
+}
+
+#[test]
+fn fleet_failover_is_deterministic() {
+    let a = run_fleet_scenario(KernelMode::Sequential);
+    let b = run_fleet_scenario(KernelMode::Sequential);
+    assert_eq!(a.log_text, b.log_text, "ladder log must be cycle-exact");
+    assert_eq!(a.failovers, b.failovers);
+    assert_eq!(a.ledger, b.ledger);
+    assert_eq!(a.in_flight, b.in_flight);
+    assert!((a.baseline_gbps - b.baseline_gbps).abs() < f64::EPSILON);
+    assert!((a.degraded_gbps - b.degraded_gbps).abs() < f64::EPSILON);
+    assert!((a.recovered_gbps - b.recovered_gbps).abs() < f64::EPSILON);
 }

@@ -285,3 +285,85 @@ fn host_pokes_against_sleeping_lanes_are_kernel_invariant() {
         }
     });
 }
+
+#[test]
+fn fleet_failover_is_kernel_invariant() {
+    // The whole rack on trial: a box crash and a brownout drive the fleet
+    // ladder (probe misses, ring removal, purge, whole-box reload,
+    // probation) while the survivors carry re-steered flows. Every box's
+    // compact trace — including the archived trace of the incarnation the
+    // reload retired — plus the fleet ladder log, ledger, and measurement
+    // must be byte-identical under every kernel.
+    use rosebud::core::{Fleet, FleetConfig, FleetHarness, FleetSupervisor, FleetSupervisorConfig};
+
+    for seed in [5u64, 31] {
+        differential(&format!("fleet-chaos seed={seed}"), |k| {
+            let mut fleet = Fleet::new(
+                FleetConfig {
+                    boxes: 2,
+                    ..FleetConfig::default()
+                },
+                k,
+                |_| build_watchdog_forwarding_system(4, 64).unwrap(),
+            )
+            .unwrap();
+            fleet.enable_tracing(trace_cfg());
+            fleet.schedule_fault(rosebud::core::FaultEvent {
+                at: 8_000,
+                kind: FaultKind::BoxCrash { device: 1 },
+            });
+            fleet.schedule_fault(rosebud::core::FaultEvent {
+                at: 30_000,
+                kind: FaultKind::BoxBrownout {
+                    device: 0,
+                    cycles: 4_000,
+                    factor: 4,
+                },
+            });
+            let mut h = FleetHarness::new(fleet, Box::new(ImixGen::new(2, seed)), 40.0);
+            let mut sup = FleetSupervisor::with_config(
+                &h.fleet,
+                FleetSupervisorConfig {
+                    drain_timeout: 3_000,
+                    reload_cycles: 5_000,
+                    ..FleetSupervisorConfig::default()
+                },
+            );
+            h.begin_window();
+            for _ in 0..60_000 {
+                sup.poll(&mut h.fleet);
+                h.tick();
+            }
+            let m = h.measure();
+            let mut trace = String::new();
+            for archived in h.fleet.archived_traces() {
+                trace.push_str(archived);
+                trace.push('\n');
+            }
+            for b in 0..h.fleet.num_boxes() {
+                trace.push_str(&format!("=== box {b} (live) ===\n"));
+                trace.push_str(
+                    &h.fleet
+                        .sys_mut(b)
+                        .take_tracer()
+                        .expect("tracing enabled")
+                        .compact_text(),
+                );
+            }
+            trace.push_str("=== fleet ladder ===\n");
+            trace.push_str(&h.fleet.log_text());
+            let drops = (0..h.fleet.num_boxes())
+                .map(|b| h.fleet.sys(b).drop_count())
+                .sum();
+            Observed {
+                trace,
+                ledger: format!("{:?}", h.fleet.ledger()),
+                diagnostics: h.fleet.diagnostics().render(),
+                measurement: format!("{m:?}"),
+                received: h.received(),
+                injected: h.injected(),
+                drops,
+            }
+        });
+    }
+}

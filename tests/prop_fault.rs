@@ -74,3 +74,117 @@ proptest! {
         }
     }
 }
+
+use rosebud::core::{Fleet, FleetConfig, FleetSupervisor, FleetSupervisorConfig, KernelMode};
+use rosebud::core::{FleetHarness, FleetStep};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Fleet-scale analogue of the ledger property: whatever device-scale
+    // havoc a random plan schedules (crashes, host-link outages, front-link
+    // flaps, brownouts), every frame the front LB ever accepted stays
+    // accounted — delivered, dropped, quarantined, purged, or in flight —
+    // across ring removals, whole-box purges, and reloads.
+    #[test]
+    fn fleet_ledger_balances_under_random_device_faults(
+        plan_seed in any::<u64>(),
+        traffic_seed in any::<u64>(),
+        events in 1usize..6,
+        gbps in 5.0f64..80.0,
+    ) {
+        let fleet = Fleet::new(
+            FleetConfig { boxes: 2, ..FleetConfig::default() },
+            KernelMode::Sequential,
+            |_| build_watchdog_forwarding_system(RPUS, 64).unwrap(),
+        ).unwrap();
+        let gen = FlowTrafficGen::new(64, 256, 0.05, traffic_seed);
+        let mut h = FleetHarness::new(fleet, Box::new(gen), gbps);
+        h.fleet.install_fault_plan(rosebud::core::FaultPlan::random_fleet(
+            plan_seed, 30_000, 2, events,
+        ));
+        let mut sup = FleetSupervisor::with_config(
+            &h.fleet,
+            FleetSupervisorConfig {
+                drain_timeout: 3_000,
+                reload_cycles: 5_000,
+                ..FleetSupervisorConfig::default()
+            },
+        );
+        // Fleet::tick() re-asserts the ledger every 1024 cycles on its own.
+        for _ in 0..70_000 {
+            sup.poll(&mut h.fleet);
+            h.tick();
+        }
+        h.fleet.assert_conservation();
+    }
+
+    // The ladder never skips rungs: a box is only ever re-admitted to the
+    // ring after a reload and a full probation, and every purge is preceded
+    // by a drain.
+    #[test]
+    fn fleet_ladder_rungs_stay_ordered(
+        plan_seed in any::<u64>(),
+        events in 1usize..6,
+    ) {
+        let fleet = Fleet::new(
+            FleetConfig { boxes: 2, ..FleetConfig::default() },
+            KernelMode::Sequential,
+            |_| build_watchdog_forwarding_system(RPUS, 64).unwrap(),
+        ).unwrap();
+        let mut h = FleetHarness::new(
+            fleet,
+            Box::new(FixedSizeGen::new(128, 2)),
+            30.0,
+        );
+        h.fleet.install_fault_plan(rosebud::core::FaultPlan::random_fleet(
+            plan_seed, 25_000, 2, events,
+        ));
+        let mut sup = FleetSupervisor::with_config(
+            &h.fleet,
+            FleetSupervisorConfig {
+                drain_timeout: 3_000,
+                reload_cycles: 5_000,
+                ..FleetSupervisorConfig::default()
+            },
+        );
+        for _ in 0..80_000 {
+            sup.poll(&mut h.fleet);
+            h.tick();
+        }
+        for device in 0..h.fleet.num_boxes() {
+            let mut draining = false;
+            let mut reloaded = false;
+            let mut probation = false;
+            for e in h.fleet.log().iter().filter(|e| e.device == device) {
+                match e.step {
+                    FleetStep::DrainStarted => draining = true,
+                    FleetStep::DrainedClean => {
+                        prop_assert!(draining, "box {device}: drain finished before starting");
+                    }
+                    FleetStep::Purged { .. } => {
+                        prop_assert!(draining, "box {device}: purge without a drain");
+                    }
+                    FleetStep::Reloading => {
+                        prop_assert!(draining, "box {device}: reload without a drain");
+                        reloaded = true;
+                    }
+                    FleetStep::Probation => {
+                        prop_assert!(reloaded, "box {device}: probation without a reload");
+                        probation = true;
+                    }
+                    FleetStep::Readmitted => {
+                        prop_assert!(
+                            probation,
+                            "box {device}: re-admitted without serving probation"
+                        );
+                        draining = false;
+                        reloaded = false;
+                        probation = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
