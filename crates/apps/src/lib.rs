@@ -15,6 +15,9 @@
 //! * [`rules`] — a Snort-lite rule parser and synthetic rule-set generator.
 //! * [`messaging`] — broadcast-messaging firmware for the §6.3 latency
 //!   experiments.
+//! * [`host_dma`] — a forwarder that mirrors packet headers into host DRAM
+//!   through the DMA manager (§4.2), written to pass the protocol/taint
+//!   analyzer under `LoadPolicy::Deny`.
 //! * [`pigasus_asm`] — the HW-reorder IPS firmware in actual RV32 assembly
 //!   (Appendix B hand-lowered), running on the instruction-set simulator.
 //! * [`pktgen`] — the tester FPGA: `basic_pkt_gen` firmware plus the
@@ -36,6 +39,7 @@
 
 pub mod firewall;
 pub mod forwarder;
+pub mod host_dma;
 pub mod messaging;
 pub mod pigasus;
 pub mod pigasus_asm;

@@ -147,9 +147,26 @@ impl Diagnostics {
             );
         }
         for rec in &self.lint {
+            // Break the errors down by check id so a denied reload names the
+            // failing analysis (e.g. `[protocol 1, taint 2]`) at a glance.
+            let mut by_check = std::collections::BTreeMap::<String, usize>::new();
+            for d in &rec.report.diagnostics {
+                if d.severity == rosebud_riscv::Severity::Error {
+                    *by_check.entry(d.check.to_string()).or_default() += 1;
+                }
+            }
+            let breakdown = if by_check.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = by_check
+                    .iter()
+                    .map(|(check, n)| format!("{check} {n}"))
+                    .collect();
+                format!(" [{}]", parts.join(", "))
+            };
             let _ = writeln!(
                 out,
-                "lint: RPU {} @{}: {} error(s), {} warning(s){}",
+                "lint: RPU {} @{}: {} error(s){breakdown}, {} warning(s){}",
                 rec.rpu,
                 rec.cycle,
                 rec.report.error_count(),

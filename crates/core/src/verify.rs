@@ -8,7 +8,7 @@
 //! image outright so the supervisor's evict/reload ladder never reinstalls a
 //! known-bad program.
 
-use rosebud_riscv::{CostModel, LintReport, MachineSpec, MmioReg, Region};
+use rosebud_riscv::{CostModel, LintReport, MachineSpec, MmioReg, ProtocolSpec, Region};
 
 use crate::config::RosebudConfig;
 use crate::types::memmap::{self, io};
@@ -81,6 +81,18 @@ pub fn machine_spec(cfg: &RosebudConfig) -> MachineSpec {
         stack: Some(Region {
             base: memmap::DMEM_BASE + cfg.dmem_bytes - STACK_BYTES,
             bytes: STACK_BYTES,
+        }),
+        protocol: Some(ProtocolSpec {
+            recv_ready: io::RECV_READY,
+            recv_desc: vec![io::RECV_DESC_LO, io::RECV_DESC_DATA],
+            recv_release: io::RECV_RELEASE,
+            send_stage: io::SEND_DESC_LO,
+            send_commit: io::SEND_DESC_DATA,
+            dma_host_addr: io::DMA_HOST_ADDR,
+            dma_local_addr: io::DMA_LOCAL_ADDR,
+            dma_len: io::DMA_LEN,
+            dma_ctrl: io::DMA_CTRL,
+            dma_status: io::DMA_STATUS,
         }),
         cost: CostModel::default(),
         pmem_wait_cycles: PMEM_WAIT_CYCLES,
@@ -160,6 +172,38 @@ mod tests {
             assert_eq!(reg.offset % 4, 0, "{}", reg.name);
             assert!(reg.offset < spec.io_window_bytes);
         }
+    }
+
+    #[test]
+    fn protocol_spec_agrees_with_the_io_table() {
+        let spec = machine_spec(&RosebudConfig::with_rpus(1));
+        let proto = spec.protocol.clone().expect("protocol table is wired in");
+        let dir = |off: u32| {
+            let reg = spec
+                .io_regs
+                .iter()
+                .find(|r| r.offset == off)
+                .unwrap_or_else(|| panic!("protocol offset 0x{off:02x} not in IO table"));
+            (reg.readable, reg.writable)
+        };
+        // Every automaton register is a real register with the direction
+        // the automaton's trigger (load vs. store) requires.
+        assert_eq!(dir(proto.recv_ready).0, true);
+        for &d in &proto.recv_desc {
+            assert_eq!(dir(d).0, true);
+        }
+        assert_eq!(dir(proto.recv_release).1, true);
+        assert_eq!(dir(proto.send_stage).1, true);
+        assert_eq!(dir(proto.send_commit).1, true);
+        for off in [
+            proto.dma_host_addr,
+            proto.dma_local_addr,
+            proto.dma_len,
+            proto.dma_ctrl,
+        ] {
+            assert_eq!(dir(off).1, true);
+        }
+        assert_eq!(dir(proto.dma_status).0, true);
     }
 
     #[test]

@@ -53,7 +53,7 @@ use std::fmt::Write as _;
 use crate::asm::Image;
 use crate::cpu::{alu, CostModel};
 use crate::icache::DecodeCache;
-use crate::isa::{Instr, LoadOp, MulOp, Reg, StoreOp};
+use crate::isa::{AluOp, BranchOp, Instr, LoadOp, MulOp, Reg, StoreOp};
 
 /// A half-open memory region `[base, base + bytes)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +87,51 @@ pub struct MmioReg {
     pub writable: bool,
 }
 
+/// Word-aligned offsets (from [`MachineSpec::io_base`]) of the registers
+/// that participate in the descriptor/DMA lifecycle protocol.
+///
+/// The analyzer derives three typestate automata from this table and checks
+/// every firmware path against their product:
+///
+/// * **RX descriptor**: `poll recv_ready` → `read recv_desc[..]` →
+///   `store recv_release`. Reading a descriptor field with nothing held is
+///   use-after-release; releasing twice frees a slot the scheduler still
+///   owns.
+/// * **TX descriptor**: `store send_stage` → `store send_commit`.
+///   Committing with nothing staged emits a garbage descriptor
+///   (double-commit); restaging over an uncommitted descriptor drops it.
+/// * **DMA engine**: program `dma_host_addr`/`dma_local_addr`/`dma_len` →
+///   kick `dma_ctrl` → poll `dma_status` to completion. Reprogramming the
+///   registers or rekicking while a transfer may still be in flight is a
+///   buffer reuse before completion.
+///
+/// Loads of `recv_desc` registers are also **taint sources** for the
+/// packet-byte taint analysis, and stores to the four DMA registers are
+/// taint **sinks**.
+#[derive(Debug, Clone)]
+pub struct ProtocolSpec {
+    /// Read: returns nonzero when a receive descriptor is pending.
+    pub recv_ready: u32,
+    /// Read: descriptor fields; only meaningful while a descriptor is held.
+    pub recv_desc: Vec<u32>,
+    /// Write: releases the held descriptor slot back to the scheduler.
+    pub recv_release: u32,
+    /// Write: stages the first half of a send descriptor.
+    pub send_stage: u32,
+    /// Write: commits the staged send descriptor to the scheduler.
+    pub send_commit: u32,
+    /// Write: DMA host (ring) address parameter.
+    pub dma_host_addr: u32,
+    /// Write: DMA local (pmem/dmem) address parameter.
+    pub dma_local_addr: u32,
+    /// Write: DMA transfer length parameter.
+    pub dma_len: u32,
+    /// Write: kicks the programmed transfer off.
+    pub dma_ctrl: u32,
+    /// Read: nonzero while the transfer is still in flight (completion poll).
+    pub dma_status: u32,
+}
+
 /// The machine the firmware will run on, as the analyzer sees it.
 ///
 /// `rosebud-riscv` deliberately knows nothing about the Rosebud framework;
@@ -116,6 +161,9 @@ pub struct MachineSpec {
     pub watchdog_pet_offset: Option<u32>,
     /// The region `sp`-relative accesses must stay inside, if configured.
     pub stack: Option<Region>,
+    /// Descriptor/DMA lifecycle registers, if the machine has them; enables
+    /// the typestate-protocol and packet-taint checks.
+    pub protocol: Option<ProtocolSpec>,
     /// The pipeline timing model used for WCET bounds.
     pub cost: CostModel,
     /// Extra wait-states on packet-memory accesses.
@@ -142,6 +190,7 @@ impl MachineSpec {
             bcast: Region::NONE,
             watchdog_pet_offset: None,
             stack: None,
+            protocol: None,
             cost: CostModel::default(),
             pmem_wait_cycles: 0,
             accel_read_wait_cycles: 0,
@@ -187,6 +236,12 @@ pub enum Check {
     Dead,
     /// Control flow the analysis cannot follow (indirect jumps, `mret`).
     Flow,
+    /// Descriptor/DMA lifecycle violation (typestate automata over the
+    /// [`ProtocolSpec`] registers).
+    Protocol,
+    /// Unsanitized packet bytes reaching a trusted sink (DMA registers,
+    /// indirect jump targets, loop bounds).
+    Taint,
 }
 
 impl fmt::Display for Check {
@@ -200,6 +255,8 @@ impl fmt::Display for Check {
             Check::Illegal => "illegal",
             Check::Dead => "dead-code",
             Check::Flow => "flow",
+            Check::Protocol => "protocol",
+            Check::Taint => "taint",
         };
         f.write_str(s)
     }
@@ -330,25 +387,263 @@ impl LintReport {
         );
         out
     }
+
+    /// Renders the report as a single JSON object (no trailing newline) for
+    /// machine consumers: one object per diagnostic with check id, severity,
+    /// PC, and the CFG-path witness, plus the WCET summaries. The field
+    /// order and diagnostic order are stable, so the output is diffable.
+    pub fn render_json(&self, name: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\"name\":");
+        out.push_str(&json_string(name));
+        let _ = write!(
+            out,
+            ",\"errors\":{},\"warnings\":{},\"wcet\":[",
+            self.error_count(),
+            self.warning_count()
+        );
+        for (i, w) in self.wcet.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"entry\":{},\"label\":{},\"acyclic_cycles\":{},\"loops\":[",
+                w.entry,
+                json_opt_string(w.label.as_deref()),
+                w.acyclic_cycles
+            );
+            for (j, l) in w.loops.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"header\":{},\"label\":{},\"cycles_per_iter\":{}}}",
+                    l.header,
+                    json_opt_string(l.label.as_deref()),
+                    l.cycles_per_iter
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let sev = match d.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
+            let _ = write!(
+                out,
+                "{{\"check\":{},\"severity\":\"{sev}\",\"pc\":{},\"message\":{},\"path\":[",
+                json_string(&d.check.to_string()),
+                d.pc,
+                json_string(&d.message)
+            );
+            for (j, p) in d.path.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{p}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with the surrounding quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt_string(s: Option<&str>) -> String {
+    s.map(json_string).unwrap_or_else(|| "null".to_string())
 }
 
 // ---------------------------------------------------------------------------
 // Abstract domain
 // ---------------------------------------------------------------------------
 
-/// Abstract register value: a known constant or anything.
+/// Abstract register value: an unsigned interval `[lo, hi]` (inclusive).
+/// Constants are singleton intervals; `TOP` is `[0, u32::MAX]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AbsVal {
-    Const(u32),
-    Any,
+struct Interval {
+    lo: u32,
+    hi: u32,
 }
 
-impl AbsVal {
-    fn join(self, other: AbsVal) -> AbsVal {
-        match (self, other) {
-            (AbsVal::Const(a), AbsVal::Const(b)) if a == b => self,
-            _ => AbsVal::Any,
+impl Interval {
+    const TOP: Interval = Interval {
+        lo: 0,
+        hi: u32::MAX,
+    };
+
+    fn constant(c: u32) -> Self {
+        Interval { lo: c, hi: c }
+    }
+
+    fn as_const(self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether the interval is bounded away from the full u32 range — the
+    /// property a sanitizing mask or guard must establish.
+    fn bounded(self) -> bool {
+        self.hi < u32::MAX
+    }
+
+    fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
         }
+    }
+
+    /// Standard interval widening: any bound still moving after the join
+    /// threshold jumps straight to the lattice extreme, guaranteeing the
+    /// fixpoint terminates.
+    fn widen_to(self, next: Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { 0 } else { next.lo },
+            hi: if next.hi > self.hi { u32::MAX } else { next.hi },
+        }
+    }
+}
+
+/// Smallest all-ones mask covering `m` (e.g. `0x1234` -> `0x1fff`).
+fn ones_cover(m: u32) -> u32 {
+    if m == 0 {
+        0
+    } else {
+        u32::MAX >> m.leading_zeros()
+    }
+}
+
+/// Interval transfer function for the ALU. Constant-constant operands fold
+/// exactly through the simulator's own [`alu`], so the abstract and
+/// concrete semantics cannot drift for singletons.
+fn alu_interval(op: AluOp, a: Interval, b: Interval) -> Interval {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        return Interval::constant(alu(op, x, y));
+    }
+    match op {
+        AluOp::Add => {
+            let lo = u64::from(a.lo) + u64::from(b.lo);
+            let hi = u64::from(a.hi) + u64::from(b.hi);
+            if hi <= u64::from(u32::MAX) {
+                Interval {
+                    lo: lo as u32,
+                    hi: hi as u32,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        AluOp::Sub => {
+            if a.lo >= b.hi {
+                Interval {
+                    lo: a.lo - b.hi,
+                    hi: a.hi - b.lo,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        AluOp::And => Interval {
+            lo: 0,
+            hi: a.hi.min(b.hi),
+        },
+        AluOp::Or => Interval {
+            lo: a.lo.max(b.lo),
+            hi: ones_cover(a.hi | b.hi),
+        },
+        AluOp::Xor => Interval {
+            lo: 0,
+            hi: ones_cover(a.hi | b.hi),
+        },
+        AluOp::Sll => match b.as_const() {
+            Some(s) => {
+                let s = s & 31;
+                let hi = u64::from(a.hi) << s;
+                if hi <= u64::from(u32::MAX) {
+                    Interval {
+                        lo: a.lo << s,
+                        hi: hi as u32,
+                    }
+                } else {
+                    Interval::TOP
+                }
+            }
+            None => Interval::TOP,
+        },
+        AluOp::Srl => match b.as_const() {
+            Some(s) => {
+                let s = s & 31;
+                Interval {
+                    lo: a.lo >> s,
+                    hi: a.hi >> s,
+                }
+            }
+            None => Interval { lo: 0, hi: a.hi },
+        },
+        AluOp::Sra => {
+            // Non-negative values shift like SRL; a possibly-negative value
+            // smears sign bits and goes to TOP.
+            if a.hi < 0x8000_0000 {
+                match b.as_const() {
+                    Some(s) => {
+                        let s = s & 31;
+                        Interval {
+                            lo: a.lo >> s,
+                            hi: a.hi >> s,
+                        }
+                    }
+                    None => Interval { lo: 0, hi: a.hi },
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        AluOp::Slt | AluOp::Sltu => Interval { lo: 0, hi: 1 },
+    }
+}
+
+/// Taint transfer for an ALU op: AND with a clean bounded mask sanitizes,
+/// comparison results are bounded booleans, everything else unions.
+fn alu_taint(op: AluOp, a: Interval, ta: bool, b: Interval, tb: bool) -> bool {
+    match op {
+        AluOp::Slt | AluOp::Sltu => false,
+        AluOp::And => {
+            let a_masks = !ta && a.bounded();
+            let b_masks = !tb && b.bounded();
+            if a_masks || b_masks {
+                false
+            } else {
+                ta || tb
+            }
+        }
+        _ => ta || tb,
     }
 }
 
@@ -370,38 +665,84 @@ impl Init {
     }
 }
 
+// RX descriptor automaton states (powerset bitmask: the abstract state
+// tracks every protocol state some path may be in).
+const RX_UNPOLLED: u8 = 1; // no descriptor pending or held
+const RX_POLLED: u8 = 2; // RECV_READY observed, fields not yet read
+const RX_HELD: u8 = 4; // descriptor fields read, slot not released
+
+// TX descriptor automaton states.
+const TX_EMPTY: u8 = 1;
+const TX_STAGED: u8 = 2;
+
+// DMA engine automaton states.
+const DMA_IDLE: u8 = 1;
+const DMA_BUSY: u8 = 2;
+
+/// Cap on the tracked set of tainted data-memory words; stores past the cap
+/// are simply not recorded (a sound under-approximation for a *linter*:
+/// fewer taint findings, never a spurious one).
+const MEM_TAINT_CAP: usize = 64;
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct AbsState {
-    regs: [AbsVal; 32],
+    regs: [Interval; 32],
     init: [Init; 32],
+    /// Bit `r` set = register `r` holds unsanitized packet bytes.
+    taint: u32,
+    /// RX/TX/DMA typestate automata (powerset bitmasks, joined by OR).
+    rx: u8,
+    tx: u8,
+    dma: u8,
+    /// Whether DMA_HOST_ADDR / DMA_LOCAL_ADDR / DMA_LEN have been
+    /// programmed (the engine latches them across kicks).
+    dma_params: [Init; 3],
+    /// Word addresses in data memory holding tainted packet bytes
+    /// (constant-address stores only; see [`MEM_TAINT_CAP`]).
+    mem_taint: BTreeSet<u32>,
 }
 
 impl AbsState {
-    /// Boot entry: only `x0` is defined.
+    /// Boot entry: only `x0` is defined; every automaton is at rest.
     fn boot() -> Self {
         let mut s = AbsState {
-            regs: [AbsVal::Any; 32],
+            regs: [Interval::TOP; 32],
             init: [Init::No; 32],
+            taint: 0,
+            rx: RX_UNPOLLED,
+            tx: TX_EMPTY,
+            dma: DMA_IDLE,
+            dma_params: [Init::No; 3],
+            mem_taint: BTreeSet::new(),
         };
-        s.regs[0] = AbsVal::Const(0);
+        s.regs[0] = Interval::constant(0);
         s.init[0] = Init::Yes;
         s
     }
 
-    /// Trap entry: the interrupted context's registers are all live.
+    /// Trap entry: the interrupted context's registers are all live, and
+    /// the interrupt may fire at any point of the protocol — every
+    /// automaton state is possible.
     fn trap() -> Self {
         let mut s = AbsState {
-            regs: [AbsVal::Any; 32],
+            regs: [Interval::TOP; 32],
             init: [Init::Yes; 32],
+            taint: 0,
+            rx: RX_UNPOLLED | RX_POLLED | RX_HELD,
+            tx: TX_EMPTY | TX_STAGED,
+            dma: DMA_IDLE | DMA_BUSY,
+            dma_params: [Init::Maybe; 3],
+            mem_taint: BTreeSet::new(),
         };
-        s.regs[0] = AbsVal::Const(0);
+        s.regs[0] = Interval::constant(0);
         s
     }
 
-    fn join_from(&mut self, other: &AbsState) -> bool {
+    fn join_from(&mut self, other: &AbsState, widen: bool) -> bool {
         let mut changed = false;
         for i in 0..32 {
-            let v = self.regs[i].join(other.regs[i]);
+            let j = self.regs[i].join(other.regs[i]);
+            let v = if widen { self.regs[i].widen_to(j) } else { j };
             let t = self.init[i].join(other.init[i]);
             if v != self.regs[i] || t != self.init[i] {
                 self.regs[i] = v;
@@ -409,18 +750,141 @@ impl AbsState {
                 changed = true;
             }
         }
+        let taint = self.taint | other.taint;
+        if taint != self.taint {
+            self.taint = taint;
+            changed = true;
+        }
+        let (rx, tx, dma) = (self.rx | other.rx, self.tx | other.tx, self.dma | other.dma);
+        if (rx, tx, dma) != (self.rx, self.tx, self.dma) {
+            self.rx = rx;
+            self.tx = tx;
+            self.dma = dma;
+            changed = true;
+        }
+        for i in 0..3 {
+            let p = self.dma_params[i].join(other.dma_params[i]);
+            if p != self.dma_params[i] {
+                self.dma_params[i] = p;
+                changed = true;
+            }
+        }
+        for &a in &other.mem_taint {
+            if self.mem_taint.insert(a) {
+                changed = true;
+            }
+        }
         changed
     }
 
-    fn get(&self, r: Reg) -> AbsVal {
+    fn get(&self, r: Reg) -> Interval {
         self.regs[r.0 as usize]
     }
 
-    fn set(&mut self, r: Reg, v: AbsVal) {
+    fn set(&mut self, r: Reg, v: Interval) {
         if r.0 != 0 {
             self.regs[r.0 as usize] = v;
             self.init[r.0 as usize] = Init::Yes;
         }
+    }
+
+    fn tainted(&self, r: Reg) -> bool {
+        self.taint & (1u32 << r.0) != 0
+    }
+
+    fn set_taint(&mut self, r: Reg, t: bool) {
+        if r.0 != 0 {
+            if t {
+                self.taint |= 1u32 << r.0;
+            } else {
+                self.taint &= !(1u32 << r.0);
+            }
+        }
+    }
+}
+
+/// Refines `state` along one branch edge: unsigned comparisons narrow the
+/// operand intervals, and a comparison against a clean bounded value
+/// sanitizes the compared register (`bltu`/`bgeu` guard idiom).
+fn refine_branch(s: &mut AbsState, op: BranchOp, rs1: Reg, rs2: Reg, taken: bool) {
+    let i1 = s.get(rs1);
+    let i2 = s.get(rs2);
+    let t1 = s.tainted(rs1);
+    let t2 = s.tainted(rs2);
+    fn assign(s: &mut AbsState, r: Reg, v: Interval) {
+        // Value-only refinement: init state is untouched, and x0 stays 0.
+        if r.0 != 0 {
+            s.regs[r.0 as usize] = v;
+        }
+    }
+    match (op, taken) {
+        (BranchOp::Eq, true) | (BranchOp::Ne, false) => {
+            // rs1 == rs2: both collapse to the meet.
+            let lo = i1.lo.max(i2.lo);
+            let hi = i1.hi.min(i2.hi);
+            if lo <= hi {
+                assign(s, rs1, Interval { lo, hi });
+                assign(s, rs2, Interval { lo, hi });
+            }
+            // Equal to a clean value => the value is not attacker-chosen.
+            if !t1 {
+                s.set_taint(rs2, false);
+            }
+            if !t2 {
+                s.set_taint(rs1, false);
+            }
+        }
+        (BranchOp::Ltu, true) | (BranchOp::Geu, false) => {
+            // rs1 < rs2 (unsigned).
+            if i2.hi > 0 {
+                let hi = i1.hi.min(i2.hi - 1);
+                assign(
+                    s,
+                    rs1,
+                    Interval {
+                        lo: i1.lo.min(hi),
+                        hi,
+                    },
+                );
+                if !t2 && i2.bounded() {
+                    s.set_taint(rs1, false);
+                }
+            }
+            if i1.lo < u32::MAX {
+                let lo = i2.lo.max(i1.lo + 1);
+                assign(
+                    s,
+                    rs2,
+                    Interval {
+                        lo,
+                        hi: i2.hi.max(lo),
+                    },
+                );
+            }
+        }
+        (BranchOp::Ltu, false) | (BranchOp::Geu, true) => {
+            // rs1 >= rs2 (unsigned).
+            let lo = i1.lo.max(i2.lo);
+            assign(
+                s,
+                rs1,
+                Interval {
+                    lo,
+                    hi: i1.hi.max(lo),
+                },
+            );
+            let hi = i2.hi.min(i1.hi);
+            assign(
+                s,
+                rs2,
+                Interval {
+                    lo: i2.lo.min(hi),
+                    hi,
+                },
+            );
+        }
+        // Signed comparisons carry no unsigned-interval refinement.
+        _ => {}
     }
 }
 
@@ -437,6 +901,9 @@ struct Block {
     succs: Vec<(u32, u32)>,
     /// Whether a reachable decode failure terminates this block.
     illegal_at: Option<u32>,
+    /// Whether the block ends in the assembler's `ret` idiom
+    /// (`jalr zero, ra, 0`); resolved return edges are added to `succs`.
+    is_ret: bool,
 }
 
 /// What region a constant address falls into.
@@ -567,10 +1034,19 @@ impl Analyzer {
                             }
                         }
                     }
-                    Instr::Jal { imm, .. } => {
+                    Instr::Jal { rd, imm } => {
                         let t = pc.wrapping_add(imm as u32);
                         if target_ok(dc, t) && leaders.insert(t) {
                             queue.push_back(t);
+                        }
+                        // `jal ra, f` is the assembler's call idiom: the
+                        // continuation after the call is reachable through
+                        // the callee's `ret`.
+                        if rd == Reg::RA {
+                            let cont = pc.wrapping_add(4);
+                            if target_ok(dc, cont) && leaders.insert(cont) {
+                                queue.push_back(cont);
+                            }
                         }
                     }
                     Instr::Jalr { .. } | Instr::Mret | Instr::Ebreak => {}
@@ -585,6 +1061,8 @@ impl Analyzer {
 
         // ---- Phase B: materialize blocks with per-edge costs. ----
         let mut blocks: BTreeMap<u32, Block> = BTreeMap::new();
+        // Call-site table: call block start -> (callee entry, continuation).
+        let mut call_conts: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
         for &leader in &leaders {
             if !reachable.contains(&leader) {
                 continue;
@@ -594,6 +1072,7 @@ impl Analyzer {
                 instrs: Vec::new(),
                 succs: Vec::new(),
                 illegal_at: None,
+                is_ret: false,
             };
             let mut pc = leader;
             loop {
@@ -617,16 +1096,28 @@ impl Analyzer {
                         }
                         break;
                     }
-                    Instr::Jal { imm, .. } => {
+                    Instr::Jal { rd, imm } => {
                         let t = pc.wrapping_add(imm as u32);
                         if target_ok(dc, t) {
                             block.succs.push((t, jump));
+                            if rd == Reg::RA {
+                                let cont = pc.wrapping_add(4);
+                                if target_ok(dc, cont) {
+                                    call_conts.insert(leader, (t, cont));
+                                }
+                            }
                         } else {
                             block.illegal_at = Some(pc);
                         }
                         break;
                     }
-                    Instr::Jalr { .. } | Instr::Mret | Instr::Ebreak => break,
+                    Instr::Jalr { rd, rs1, imm } => {
+                        if rd == Reg::ZERO && rs1 == Reg::RA && imm == 0 {
+                            block.is_ret = true;
+                        }
+                        break;
+                    }
+                    Instr::Mret | Instr::Ebreak => break,
                     _ => {}
                 }
                 pc = pc.wrapping_add(4);
@@ -636,6 +1127,59 @@ impl Analyzer {
                 }
             }
             blocks.insert(leader, block);
+        }
+
+        // ---- Resolve the call/return idiom (context-insensitive). ----
+        // A `ret` returns to the continuation of every call site whose
+        // callee body reaches it. The body walk steps *over* nested calls
+        // (call block -> its own continuation) so helper code is attributed
+        // to the helper, not inlined into the caller.
+        let callees: BTreeSet<u32> = call_conts.values().map(|&(f, _)| f).collect();
+        let mut bodies: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        let mut ret_edges: Vec<(u32, u32)> = Vec::new();
+        for &f in &callees {
+            let mut body: BTreeSet<u32> = BTreeSet::new();
+            let mut q: VecDeque<u32> = VecDeque::new();
+            q.push_back(f);
+            while let Some(b) = q.pop_front() {
+                if !blocks.contains_key(&b) || !body.insert(b) {
+                    continue;
+                }
+                let blk = &blocks[&b];
+                if blk.is_ret {
+                    continue;
+                }
+                if let Some(&(_, cont)) = call_conts.get(&b) {
+                    q.push_back(cont);
+                } else {
+                    for &(s, _) in &blk.succs {
+                        q.push_back(s);
+                    }
+                }
+            }
+            let conts: Vec<u32> = call_conts
+                .values()
+                .filter(|&&(t, _)| t == f)
+                .map(|&(_, c)| c)
+                .collect();
+            for &b in &body {
+                if blocks[&b].is_ret {
+                    for &c in &conts {
+                        if blocks.contains_key(&c) {
+                            ret_edges.push((b, c));
+                        }
+                    }
+                }
+            }
+            bodies.insert(f, body);
+        }
+        for (b, c) in ret_edges {
+            let blk = blocks.get_mut(&b).unwrap();
+            if !blk.succs.iter().any(|&(s, _)| s == c) {
+                // The `jalr` pipeline cost is charged in the ret block's
+                // body, so the resolved return edge itself is free.
+                blk.succs.push((c, 0));
+            }
         }
 
         // ---- Illegal / dead code. ----
@@ -665,18 +1209,25 @@ impl Analyzer {
             }
             if let Some(&(pc, instr)) = block.instrs.last() {
                 if matches!(instr, Instr::Jalr { .. } | Instr::Mret) {
-                    let what = if matches!(instr, Instr::Mret) {
-                        "mret returns to a runtime-dependent PC"
+                    if block.is_ret && !block.succs.is_empty() {
+                        // `ret` with resolved `jal ra` call sites: the
+                        // return edges are followed, nothing to warn about.
                     } else {
-                        "indirect jump target is runtime-dependent"
-                    };
-                    diags.push(Diagnostic {
-                        severity: Severity::Warning,
-                        check: Check::Flow,
-                        pc,
-                        message: format!("{what}; the analysis does not follow it"),
-                        path: path_to(&blocks, block.start),
-                    });
+                        let what = if matches!(instr, Instr::Mret) {
+                            "mret returns to a runtime-dependent PC"
+                        } else if block.is_ret {
+                            "ret has no recognized `jal ra` call site"
+                        } else {
+                            "indirect jump target is runtime-dependent"
+                        };
+                        diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            check: Check::Flow,
+                            pc,
+                            message: format!("{what}; the analysis does not follow it"),
+                            path: path_to(&blocks, block.start),
+                        });
+                    }
                 }
             }
         }
@@ -726,11 +1277,16 @@ impl Analyzer {
                     v.insert(seed);
                 }
                 std::collections::btree_map::Entry::Occupied(mut o) => {
-                    o.get_mut().join_from(&seed);
+                    o.get_mut().join_from(&seed, false);
                 }
             }
             work.push_back(entry);
         }
+        // Widening: after this many joins into the same block, any interval
+        // bound still moving jumps to the lattice extreme so counted loops
+        // keep small constants but the chain terminates.
+        const WIDEN_AFTER: u32 = 16;
+        let mut join_counts: BTreeMap<u32, u32> = BTreeMap::new();
         while let Some(at) = work.pop_front() {
             let Some(block) = blocks.get(&at) else {
                 continue;
@@ -739,13 +1295,17 @@ impl Analyzer {
             let mut sink = NoSink;
             self.exec_block(block, &mut state, &mut sink);
             for &(succ, _) in &block.succs {
+                let refined = refine_edge(block, &state, succ);
                 match in_states.entry(succ) {
                     std::collections::btree_map::Entry::Vacant(v) => {
-                        v.insert(state.clone());
+                        v.insert(refined);
                         work.push_back(succ);
                     }
                     std::collections::btree_map::Entry::Occupied(mut o) => {
-                        if o.get_mut().join_from(&state) {
+                        let n = join_counts.entry(succ).or_insert(0);
+                        *n += 1;
+                        let widen = *n > WIDEN_AFTER;
+                        if o.get_mut().join_from(&refined, widen) {
                             work.push_back(succ);
                         }
                     }
@@ -763,6 +1323,35 @@ impl Analyzer {
                 facts: BlockFacts::default(),
             };
             self.exec_block(block, &mut state, &mut sink);
+            // Exit-without-release: a halting path that may still hold a
+            // descriptor slot (or an in-flight DMA) leaks that resource.
+            if spec.protocol.is_some() {
+                if let Some(&(tpc, Instr::Ebreak)) = block.instrs.last() {
+                    if state.rx & RX_HELD != 0 {
+                        sink.diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            check: Check::Protocol,
+                            pc: tpc,
+                            message: "halts while a receive descriptor slot may still be \
+                                      held (never released; the scheduler cannot reuse \
+                                      the slot)"
+                                .to_string(),
+                            path: Vec::new(),
+                        });
+                    }
+                    if state.dma & DMA_BUSY != 0 {
+                        sink.diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            check: Check::Protocol,
+                            pc: tpc,
+                            message: "halts while a DMA transfer may still be in flight \
+                                      (completion was never polled)"
+                                .to_string(),
+                            path: Vec::new(),
+                        });
+                    }
+                }
+            }
             for mut d in sink.diags {
                 d.path = path_to(&blocks, at);
                 diags.push(d);
@@ -808,11 +1397,129 @@ impl Analyzer {
         }
 
         // ---- WCET per entry point. ----
+        // Calls are handled by summary: each callee gets a longest-acyclic-
+        // path bound of its own, and the caller's WCET view steps straight
+        // from the call block to the continuation charging that summary.
+        // (Following call edges in a plain longest-path walk would let one
+        // acyclic path visit a twice-called helper only once and
+        // *under*-estimate.)
+        let body_fn = |b: u32| facts.get(&b).map(|f| f.body_cycles).unwrap_or(0);
+        let jump = u64::from(spec.cost.jump);
+        let mut summaries: BTreeMap<u32, FnSummary> = BTreeMap::new();
+        {
+            // Summarize callees in dependency order; anything stuck in a
+            // call-graph cycle cannot be bounded.
+            let mut deps: BTreeMap<u32, BTreeSet<u32>> =
+                callees.iter().map(|&f| (f, BTreeSet::new())).collect();
+            let mut recursive: BTreeSet<u32> = BTreeSet::new();
+            for &f in &callees {
+                if let Some(body) = bodies.get(&f) {
+                    for b in body {
+                        if let Some(&(g, _)) = call_conts.get(b) {
+                            if g == f {
+                                recursive.insert(f);
+                            } else if callees.contains(&g) {
+                                deps.get_mut(&f).unwrap().insert(g);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut order: Vec<u32> = Vec::new();
+            let mut remaining: BTreeSet<u32> = callees.clone();
+            loop {
+                let ready: Vec<u32> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|f| deps[f].iter().all(|g| !remaining.contains(g)))
+                    .collect();
+                if ready.is_empty() {
+                    break;
+                }
+                for f in ready {
+                    remaining.remove(&f);
+                    order.push(f);
+                }
+            }
+            for f in remaining.iter().copied().chain(recursive.iter().copied()) {
+                if summaries.contains_key(&f) {
+                    continue;
+                }
+                summaries.insert(f, FnSummary::default());
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    check: Check::Flow,
+                    pc: f,
+                    message: format!(
+                        "recursive call cycle through 0x{f:08x}; the WCET bound does \
+                         not cover recursion depth"
+                    ),
+                    path: path_to(&blocks, f),
+                });
+            }
+            for &f in &order {
+                if summaries.contains_key(&f) {
+                    continue; // self-recursive: placeholder already present
+                }
+                let view = build_wcet_view(&blocks, &call_conts, &summaries, jump);
+                if let Some((acyclic, mut loops)) = longest_path_view(f, &view, &body_fn) {
+                    if let Some(bodyset) = bodies.get(&f) {
+                        for b in bodyset {
+                            if let Some(&(g, _)) = call_conts.get(b) {
+                                if let Some(s) = summaries.get(&g) {
+                                    for (&h, &c) in &s.loops {
+                                        let e = loops.entry(h).or_insert(c);
+                                        *e = (*e).max(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    summaries.insert(f, FnSummary { acyclic, loops });
+                }
+            }
+        }
+        let view = build_wcet_view(&blocks, &call_conts, &summaries, jump);
         let mut wcet = Vec::new();
         for &entry in entries.keys() {
-            if let Some(w) = self.entry_wcet(entry, &blocks, &facts, &labels) {
-                wcet.push(w);
+            let Some((best, mut loops)) = longest_path_view(entry, &view, &body_fn) else {
+                continue;
+            };
+            // Loop bounds inside callees belong to this entry's budget too.
+            let mut reach: BTreeSet<u32> = BTreeSet::new();
+            let mut q: VecDeque<u32> = VecDeque::new();
+            q.push_back(entry);
+            while let Some(b) = q.pop_front() {
+                if !view.contains_key(&b) || !reach.insert(b) {
+                    continue;
+                }
+                for &(s, _) in &view[&b] {
+                    q.push_back(s);
+                }
             }
+            for &b in &reach {
+                if let Some(&(g, _)) = call_conts.get(&b) {
+                    if let Some(s) = summaries.get(&g) {
+                        for (&h, &c) in &s.loops {
+                            let e = loops.entry(h).or_insert(c);
+                            *e = (*e).max(c);
+                        }
+                    }
+                }
+            }
+            wcet.push(EntryWcet {
+                entry,
+                label: labels.get(&entry).cloned(),
+                acyclic_cycles: best,
+                loops: loops
+                    .into_iter()
+                    .map(|(header, cycles_per_iter)| LoopBound {
+                        header,
+                        label: labels.get(&header).cloned(),
+                        cycles_per_iter,
+                    })
+                    .collect(),
+            });
         }
 
         RawReport {
@@ -846,8 +1553,8 @@ impl Analyzer {
     }
 
     /// Interprets one block from `state`, reporting reads of uninitialized
-    /// registers, memory-map violations, and per-instruction worst-case
-    /// cost into `sink`.
+    /// registers, memory-map violations, protocol/taint findings, and
+    /// per-instruction worst-case cost into `sink`.
     fn exec_block(&self, block: &Block, state: &mut AbsState, sink: &mut impl Sink) {
         let spec = &self.spec;
         let n = block.instrs.len();
@@ -879,82 +1586,151 @@ impl Analyzer {
             let mut cost = spec.cost.base;
             match instr {
                 Instr::Lui { rd, imm } => {
-                    state.set(rd, AbsVal::Const((imm << 12) as u32));
+                    state.set(rd, Interval::constant((imm << 12) as u32));
+                    state.set_taint(rd, false);
                 }
                 Instr::Auipc { rd, imm } => {
-                    state.set(rd, AbsVal::Const(pc.wrapping_add((imm << 12) as u32)));
+                    state.set(rd, Interval::constant(pc.wrapping_add((imm << 12) as u32)));
+                    state.set_taint(rd, false);
                 }
                 Instr::Jal { rd, .. } => {
-                    state.set(rd, AbsVal::Const(pc.wrapping_add(4)));
+                    state.set(rd, Interval::constant(pc.wrapping_add(4)));
+                    state.set_taint(rd, false);
                     cost = 0; // charged on the edge
                 }
                 Instr::Jalr { rd, rs1, .. } => {
                     read(rs1, state, sink);
-                    state.set(rd, AbsVal::Const(pc.wrapping_add(4)));
+                    if state.tainted(rs1) {
+                        sink.diag(Diagnostic {
+                            severity: Severity::Error,
+                            check: Check::Taint,
+                            pc,
+                            message: format!(
+                                "indirect jump through {} whose target is derived from \
+                                 unsanitized packet bytes (attacker-controlled control \
+                                 flow)",
+                                reg_name(rs1)
+                            ),
+                            path: Vec::new(),
+                        });
+                    }
+                    state.set(rd, Interval::constant(pc.wrapping_add(4)));
+                    state.set_taint(rd, false);
                     cost = spec.cost.jump;
                 }
-                Instr::Branch { rs1, rs2, .. } => {
+                Instr::Branch { rs1, rs2, imm, .. } => {
                     read(rs1, state, sink);
                     read(rs2, state, sink);
+                    // A backward branch is a loop latch; letting packet
+                    // bytes pick the trip count hands the attacker the
+                    // cycle budget.
+                    if is_term
+                        && pc.wrapping_add(imm as u32) <= pc
+                        && (state.tainted(rs1) || state.tainted(rs2))
+                    {
+                        sink.diag(Diagnostic {
+                            severity: Severity::Warning,
+                            check: Check::Taint,
+                            pc,
+                            message: "loop-controlling branch compares unsanitized packet \
+                                      bytes; the iteration count is attacker-controlled"
+                                .to_string(),
+                            path: Vec::new(),
+                        });
+                    }
                     cost = 0; // charged on the edge
                 }
                 Instr::Load { op, rd, rs1, imm } => {
                     let addr = read(rs1, state, sink);
+                    let target = self.resolve_target(addr, imm);
                     let wait = self.check_access(
                         pc,
                         rs1,
-                        addr,
-                        imm,
                         AccessDir::Load,
                         access_bytes_load(op),
+                        &target,
                         sink,
                     );
-                    state.set(rd, AbsVal::Any);
+                    let mut tainted = false;
+                    match target {
+                        // Packet buffers live in pmem: every load is a
+                        // taint source.
+                        Target::Const(_, Where::Pmem) | Target::Range(Where::Pmem) => {
+                            tainted = true;
+                        }
+                        Target::Const(a, Where::Dmem) => {
+                            tainted = state.mem_taint.contains(&(a & !3));
+                        }
+                        Target::Const(_, Where::Io(off)) => {
+                            tainted = self.protocol_load(pc, off & !3, state, sink);
+                        }
+                        _ => {}
+                    }
+                    state.set(rd, Interval::TOP);
+                    state.set_taint(rd, tainted);
                     cost = spec.cost.load + wait;
                 }
                 Instr::Store { op, rs1, rs2, imm } => {
                     let addr = read(rs1, state, sink);
                     read(rs2, state, sink);
+                    let value_tainted = state.tainted(rs2);
+                    let target = self.resolve_target(addr, imm);
                     let wait = self.check_access(
                         pc,
                         rs1,
-                        addr,
-                        imm,
                         AccessDir::Store,
                         access_bytes_store(op),
+                        &target,
                         sink,
                     );
-                    if let (AbsVal::Const(a), Some(off)) = (addr, spec.watchdog_pet_offset) {
-                        let a = a.wrapping_add(imm as u32);
-                        if self.locate(a) == Where::Io(off) {
-                            sink.pets();
+                    match target {
+                        Target::Const(_, Where::Io(off)) => {
+                            if spec.watchdog_pet_offset == Some(off) {
+                                sink.pets();
+                            }
+                            self.protocol_store(pc, off & !3, value_tainted, state, sink);
                         }
+                        Target::Const(a, Where::Dmem) => {
+                            let word = a & !3;
+                            if value_tainted {
+                                if state.mem_taint.len() < MEM_TAINT_CAP
+                                    || state.mem_taint.contains(&word)
+                                {
+                                    state.mem_taint.insert(word);
+                                }
+                            } else if access_bytes_store(op) == 4 {
+                                // A full-word clean store is a strong
+                                // update; partial stores leave the rest of
+                                // the word tainted.
+                                state.mem_taint.remove(&word);
+                            }
+                        }
+                        _ => {}
                     }
                     cost = spec.cost.store + wait;
                 }
                 Instr::OpImm { op, rd, rs1, imm } => {
                     let a = read(rs1, state, sink);
-                    let v = match a {
-                        AbsVal::Const(a) => AbsVal::Const(alu(op, a, imm as u32)),
-                        AbsVal::Any => AbsVal::Any,
-                    };
-                    state.set(rd, v);
+                    let ta = state.tainted(rs1);
+                    let b = Interval::constant(imm as u32);
+                    state.set(rd, alu_interval(op, a, b));
+                    state.set_taint(rd, alu_taint(op, a, ta, b, false));
                 }
                 Instr::Op { op, rd, rs1, rs2 } => {
                     let a = read(rs1, state, sink);
                     let b = read(rs2, state, sink);
-                    let v = match (a, b) {
-                        (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(alu(op, a, b)),
-                        _ => AbsVal::Any,
-                    };
-                    state.set(rd, v);
+                    let (ta, tb) = (state.tainted(rs1), state.tainted(rs2));
+                    state.set(rd, alu_interval(op, a, b));
+                    state.set_taint(rd, alu_taint(op, a, ta, b, tb));
                 }
                 Instr::MulDiv { op, rd, rs1, rs2 } => {
                     read(rs1, state, sink);
                     read(rs2, state, sink);
                     // Constant folding of M-ops buys nothing for firmware
                     // linting; stay conservative.
-                    state.set(rd, AbsVal::Any);
+                    let t = state.tainted(rs1) || state.tainted(rs2);
+                    state.set(rd, Interval::TOP);
+                    state.set_taint(rd, t);
                     cost = match op {
                         MulOp::Mul | MulOp::Mulh | MulOp::Mulhsu | MulOp::Mulhu => spec.cost.mul,
                         _ => spec.cost.div,
@@ -963,16 +1739,17 @@ impl Analyzer {
                 Instr::Csr { rd, csr, src, .. } => {
                     let written = match src {
                         crate::isa::CsrSrc::Reg(rs) => read(rs, state, sink),
-                        crate::isa::CsrSrc::Imm(v) => AbsVal::Const(u32::from(v)),
+                        crate::isa::CsrSrc::Imm(v) => Interval::constant(u32::from(v)),
                     };
                     // `csrw mtvec, rX` with a constant installs a trap
                     // handler: that address becomes an entry point.
                     if csr == crate::cpu::csr::MTVEC {
-                        if let AbsVal::Const(v) = written {
+                        if let Some(v) = written.as_const() {
                             sink.trap_vector(v & !3);
                         }
                     }
-                    state.set(rd, AbsVal::Any);
+                    state.set(rd, Interval::TOP);
+                    state.set_taint(rd, false);
                 }
                 Instr::Wfi => {
                     sink.pets();
@@ -991,27 +1768,313 @@ impl Analyzer {
         }
     }
 
+    /// RX/DMA automaton transitions for a load of IO word offset `woff`.
+    /// Returns whether the loaded value is a taint source.
+    fn protocol_load(
+        &self,
+        pc: u32,
+        woff: u32,
+        state: &mut AbsState,
+        sink: &mut impl Sink,
+    ) -> bool {
+        let Some(p) = &self.spec.protocol else {
+            return false;
+        };
+        if woff == p.recv_ready {
+            // Poll: an unpolled or already-polled slot becomes polled; a
+            // held descriptor stays held.
+            let held = state.rx & RX_HELD;
+            let polled = if state.rx & (RX_UNPOLLED | RX_POLLED) != 0 {
+                RX_POLLED
+            } else {
+                0
+            };
+            state.rx = held | polled;
+            false
+        } else if p.recv_desc.contains(&woff) {
+            if state.rx & (RX_POLLED | RX_HELD) == 0 {
+                sink.diag(Diagnostic {
+                    severity: Severity::Error,
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "reads {} with no receive descriptor held on any path \
+                         (use-after-release, or a missing RECV_READY poll)",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            } else if state.rx & RX_UNPOLLED != 0 {
+                sink.diag(Diagnostic {
+                    severity: Severity::Warning,
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "on some paths, reads {} after the descriptor slot was \
+                         released (use-after-release)",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            state.rx = RX_HELD;
+            true
+        } else if woff == p.dma_status {
+            // Reading the status register is the completion poll.
+            state.dma = DMA_IDLE;
+            false
+        } else {
+            false
+        }
+    }
+
+    /// TX/DMA automaton transitions (and DMA taint-sink checks) for a store
+    /// to IO word offset `woff`.
+    fn protocol_store(
+        &self,
+        pc: u32,
+        woff: u32,
+        value_tainted: bool,
+        state: &mut AbsState,
+        sink: &mut impl Sink,
+    ) {
+        let Some(p) = &self.spec.protocol else {
+            return;
+        };
+        let dma_params = [p.dma_host_addr, p.dma_local_addr, p.dma_len];
+        if woff == p.recv_release {
+            if state.rx & (RX_POLLED | RX_HELD) == 0 {
+                sink.diag(Diagnostic {
+                    severity: Severity::Error,
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "stores to {} with no receive descriptor held on any path \
+                         (double release frees a slot the scheduler already owns)",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            } else if state.rx & RX_UNPOLLED != 0 {
+                sink.diag(Diagnostic {
+                    severity: Severity::Warning,
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "on some paths, stores to {} with no receive descriptor held \
+                         (double release)",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            state.rx = RX_UNPOLLED;
+        } else if woff == p.send_stage {
+            if state.tx & TX_STAGED != 0 {
+                sink.diag(Diagnostic {
+                    severity: Severity::Warning,
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "stores to {} over a send descriptor that was staged but never \
+                         committed; the earlier descriptor is silently dropped",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            state.tx = TX_STAGED;
+        } else if woff == p.send_commit {
+            if state.tx & TX_STAGED == 0 {
+                sink.diag(Diagnostic {
+                    severity: Severity::Error,
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "stores to {} with no send descriptor staged on any path \
+                         (double commit emits a stale or garbage descriptor)",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            } else if state.tx & TX_EMPTY != 0 {
+                sink.diag(Diagnostic {
+                    severity: Severity::Warning,
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "on some paths, stores to {} with no send descriptor staged \
+                         (double commit)",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            state.tx = TX_EMPTY;
+        } else if let Some(i) = dma_params.iter().position(|&o| o == woff) {
+            if value_tainted {
+                sink.diag(Diagnostic {
+                    severity: Severity::Error,
+                    check: Check::Taint,
+                    pc,
+                    message: format!(
+                        "stores unsanitized packet bytes to {} (attacker-controlled \
+                         DMA {}; mask or bounds-check the value first)",
+                        self.io_name(woff),
+                        ["host address", "local address", "transfer length"][i]
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            if state.dma & DMA_BUSY != 0 {
+                let all = state.dma == DMA_BUSY;
+                sink.diag(Diagnostic {
+                    severity: if all {
+                        Severity::Error
+                    } else {
+                        Severity::Warning
+                    },
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "{}reprograms {} while a DMA transfer is still in flight \
+                         (buffer reuse before completion; poll DMA_STATUS first)",
+                        if all { "" } else { "on some paths, " },
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            state.dma_params[i] = Init::Yes;
+        } else if woff == p.dma_ctrl {
+            if value_tainted {
+                sink.diag(Diagnostic {
+                    severity: Severity::Error,
+                    check: Check::Taint,
+                    pc,
+                    message: format!(
+                        "stores unsanitized packet bytes to {} (attacker-controlled \
+                         DMA command)",
+                        self.io_name(woff)
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            for (i, &off) in dma_params.iter().enumerate() {
+                match state.dma_params[i] {
+                    Init::Yes => {}
+                    Init::No => sink.diag(Diagnostic {
+                        severity: Severity::Error,
+                        check: Check::Protocol,
+                        pc,
+                        message: format!(
+                            "starts a DMA transfer but {} was never programmed on any \
+                             path (the engine would use a stale or zero parameter)",
+                            self.io_name(off)
+                        ),
+                        path: Vec::new(),
+                    }),
+                    Init::Maybe => sink.diag(Diagnostic {
+                        severity: Severity::Warning,
+                        check: Check::Protocol,
+                        pc,
+                        message: format!(
+                            "on some paths, starts a DMA transfer without programming {}",
+                            self.io_name(off)
+                        ),
+                        path: Vec::new(),
+                    }),
+                }
+            }
+            if state.dma & DMA_BUSY != 0 {
+                let all = state.dma == DMA_BUSY;
+                sink.diag(Diagnostic {
+                    severity: if all {
+                        Severity::Error
+                    } else {
+                        Severity::Warning
+                    },
+                    check: Check::Protocol,
+                    pc,
+                    message: format!(
+                        "{}starts a DMA transfer while the previous one was never \
+                         polled to completion (missing DMA_STATUS completion poll)",
+                        if all { "" } else { "on some paths, " }
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            state.dma = DMA_BUSY;
+        }
+    }
+
+    /// The machine-map name of the IO register at word offset `woff`.
+    fn io_name(&self, woff: u32) -> String {
+        self.spec
+            .io_regs
+            .iter()
+            .find(|r| r.offset == woff)
+            .map(|r| r.name.to_string())
+            .unwrap_or_else(|| format!("device offset 0x{woff:02x}"))
+    }
+
+    /// Resolves a `base + imm` access against the machine map using the
+    /// full interval of the base register.
+    fn resolve_target(&self, base: Interval, imm: i32) -> Target {
+        if let Some(b) = base.as_const() {
+            let a = b.wrapping_add(imm as u32);
+            return Target::Const(a, self.locate(a));
+        }
+        let lo = base.lo.wrapping_add(imm as u32);
+        let hi = base.hi.wrapping_add(imm as u32);
+        if lo > hi {
+            return Target::Unknown; // the offset wrapped the interval
+        }
+        let (wl, wh) = (self.locate(lo), self.locate(hi));
+        // The mapped regions are contiguous, so both endpoints landing in
+        // the same region means the whole range does. `Nowhere` is the
+        // complement of the map and need not be contiguous; `Io` endpoints
+        // only match when the range is a single (constant) address.
+        if wl == wh && wl != Where::Nowhere && !matches!(wl, Where::Io(_)) {
+            Target::Range(wl)
+        } else {
+            Target::Unknown
+        }
+    }
+
     /// Checks one memory access; returns its worst-case extra wait-states.
+    ///
+    /// Map/direction/stack diagnostics are only emitted for constant
+    /// addresses; a bounded non-constant pointer still gets an exact wait
+    /// classification when its whole range lands in one region.
     #[allow(clippy::too_many_arguments)]
     fn check_access(
         &self,
         pc: u32,
         rs1: Reg,
-        base: AbsVal,
-        imm: i32,
         dir: AccessDir,
         bytes: u32,
+        target: &Target,
         sink: &mut impl Sink,
     ) -> u32 {
         let spec = &self.spec;
-        let AbsVal::Const(base) = base else {
-            // Unknown pointer: charge the worst wait the bus can impose.
-            return match dir {
-                AccessDir::Load => spec.worst_load_wait(),
-                AccessDir::Store => spec.worst_store_wait(),
-            };
+        let addr = match *target {
+            Target::Const(a, _) => a,
+            Target::Range(w) => {
+                return match (w, dir) {
+                    (Where::Pmem, _) => spec.pmem_wait_cycles,
+                    (Where::Accel, AccessDir::Load) => spec.accel_read_wait_cycles,
+                    _ => 0,
+                };
+            }
+            Target::Unknown => {
+                // Unknown pointer: charge the worst wait the bus can impose.
+                return match dir {
+                    AccessDir::Load => spec.worst_load_wait(),
+                    AccessDir::Store => spec.worst_store_wait(),
+                };
+            }
         };
-        let addr = base.wrapping_add(imm as u32);
         let verb = match dir {
             AccessDir::Load => "load from",
             AccessDir::Store => "store to",
@@ -1127,124 +2190,17 @@ impl Analyzer {
             }
         }
     }
+}
 
-    /// Longest acyclic path + per-loop iteration bounds from `entry`.
-    fn entry_wcet(
-        &self,
-        entry: u32,
-        blocks: &BTreeMap<u32, Block>,
-        facts: &BTreeMap<u32, BlockFacts>,
-        labels: &BTreeMap<u32, String>,
-    ) -> Option<EntryWcet> {
-        blocks.get(&entry)?;
-        // DFS from the entry classifying back edges (u -> v with v on the
-        // DFS stack). Firmware CFGs here are reducible; anything stranger
-        // still terminates because back edges are removed below.
-        let mut on_stack: BTreeSet<u32> = BTreeSet::new();
-        let mut visited: BTreeSet<u32> = BTreeSet::new();
-        let mut back_edges: Vec<(u32, u32)> = Vec::new();
-        // Iterative DFS with explicit post-visit events.
-        let mut stack: Vec<(u32, usize)> = vec![(entry, 0)];
-        visited.insert(entry);
-        on_stack.insert(entry);
-        while let Some(&mut (at, ref mut next)) = stack.last_mut() {
-            let succs = &blocks[&at].succs;
-            if *next < succs.len() {
-                let (s, _) = succs[*next];
-                *next += 1;
-                if !blocks.contains_key(&s) {
-                    continue;
-                }
-                if on_stack.contains(&s) {
-                    back_edges.push((at, s));
-                } else if visited.insert(s) {
-                    on_stack.insert(s);
-                    stack.push((s, 0));
-                }
-            } else {
-                on_stack.remove(&at);
-                stack.pop();
-            }
-        }
-
-        let body = |b: u32| facts.get(&b).map(|f| f.body_cycles).unwrap_or(0);
-        let is_back = |u: u32, v: u32| back_edges.iter().any(|&(a, b)| (a, b) == (u, v));
-
-        // Longest path over the forward (acyclic) subgraph.
-        let order = topo_order(blocks, &visited, &is_back);
-        let mut dist: BTreeMap<u32, u64> = BTreeMap::new();
-        dist.insert(entry, 0);
-        let mut best = 0u64;
-        for &at in &order {
-            let Some(&d) = dist.get(&at) else { continue };
-            let here = d + body(at);
-            let term = blocks[&at]
-                .succs
-                .iter()
-                .map(|&(_, c)| u64::from(c))
-                .max()
-                .unwrap_or(0);
-            best = best.max(here + term);
-            for &(s, c) in &blocks[&at].succs {
-                if is_back(at, s) || !blocks.contains_key(&s) {
-                    continue;
-                }
-                let cand = here + u64::from(c);
-                let e = dist.entry(s).or_insert(cand);
-                *e = (*e).max(cand);
-            }
-        }
-
-        // Per-loop bound: for each back edge u -> h, the worst path from h
-        // to u inside the natural loop, plus the back edge itself.
-        let mut loop_bounds: BTreeMap<u32, u64> = BTreeMap::new();
-        for &(u, h) in &back_edges {
-            let members = natural_loop(blocks, u, h);
-            let sub_order: Vec<u32> = order
-                .iter()
-                .copied()
-                .filter(|b| members.contains(b))
-                .collect();
-            let mut d: BTreeMap<u32, u64> = BTreeMap::new();
-            d.insert(h, 0);
-            for &at in &sub_order {
-                let Some(&da) = d.get(&at) else { continue };
-                for &(s, c) in &blocks[&at].succs {
-                    if is_back(at, s) || !members.contains(&s) {
-                        continue;
-                    }
-                    let cand = da + body(at) + u64::from(c);
-                    let e = d.entry(s).or_insert(cand);
-                    *e = (*e).max(cand);
-                }
-            }
-            let edge_cost = blocks[&u]
-                .succs
-                .iter()
-                .find(|&&(s, _)| s == h)
-                .map(|&(_, c)| u64::from(c))
-                .unwrap_or(0);
-            if let Some(&du) = d.get(&u) {
-                let iter = du + body(u) + edge_cost;
-                let e = loop_bounds.entry(h).or_insert(iter);
-                *e = (*e).max(iter);
-            }
-        }
-
-        Some(EntryWcet {
-            entry,
-            label: labels.get(&entry).cloned(),
-            acyclic_cycles: best,
-            loops: loop_bounds
-                .into_iter()
-                .map(|(header, cycles_per_iter)| LoopBound {
-                    header,
-                    label: labels.get(&header).cloned(),
-                    cycles_per_iter,
-                })
-                .collect(),
-        })
-    }
+/// Where a resolved memory access lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// A single constant address in the given region.
+    Const(u32, Where),
+    /// A non-constant pointer whose whole interval stays inside one region.
+    Range(Where),
+    /// A pointer the interval domain cannot pin to one region.
+    Unknown,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1543,15 +2499,172 @@ fn find_cycle(blocks: &BTreeMap<u32, Block>, allowed: &BTreeSet<u32>) -> Option<
     None
 }
 
-/// Topological order of `visited` blocks over forward edges.
-fn topo_order(
+/// Propagates `state` along the edge `block -> succ`, narrowing intervals
+/// (and clearing taint) through the terminating branch's comparison when the
+/// edge direction is unambiguous.
+fn refine_edge(block: &Block, state: &AbsState, succ: u32) -> AbsState {
+    let mut out = state.clone();
+    if let Some(&(pc, Instr::Branch { op, rs1, rs2, imm })) = block.instrs.last() {
+        let taken = pc.wrapping_add(imm as u32);
+        let fall = pc.wrapping_add(4);
+        if taken != fall {
+            if succ == taken {
+                refine_branch(&mut out, op, rs1, rs2, true);
+            } else if succ == fall {
+                refine_branch(&mut out, op, rs1, rs2, false);
+            }
+        }
+    }
+    out
+}
+
+/// WCET summary of one called routine: longest acyclic path through its
+/// body, and the per-iteration bound of each loop it contains.
+#[derive(Debug, Clone, Default)]
+struct FnSummary {
+    acyclic: u64,
+    loops: BTreeMap<u32, u64>,
+}
+
+/// Edge list used for WCET walks: successors with u64 edge costs.
+type WcetView = BTreeMap<u32, Vec<(u32, u64)>>;
+
+/// Builds the call-summarized WCET graph: a `jal ra` call block steps
+/// straight to its continuation charging the jump plus the callee's acyclic
+/// summary, and return blocks terminate (their cost is part of the callee
+/// summary, charged at the call site).
+fn build_wcet_view(
     blocks: &BTreeMap<u32, Block>,
+    call_conts: &BTreeMap<u32, (u32, u32)>,
+    summaries: &BTreeMap<u32, FnSummary>,
+    jump: u64,
+) -> WcetView {
+    let mut view: WcetView = BTreeMap::new();
+    for (&at, block) in blocks {
+        let succs = if let Some(&(callee, cont)) = call_conts.get(&at) {
+            let callee_cost = summaries.get(&callee).map(|s| s.acyclic).unwrap_or(0);
+            vec![(cont, jump + callee_cost)]
+        } else if block.is_ret {
+            Vec::new()
+        } else {
+            block
+                .succs
+                .iter()
+                .filter(|&&(s, _)| blocks.contains_key(&s))
+                .map(|&(s, c)| (s, u64::from(c)))
+                .collect()
+        };
+        view.insert(at, succs);
+    }
+    view
+}
+
+/// Longest acyclic path + per-loop iteration bounds from `entry` over a
+/// WCET view. Returns `(acyclic_cycles, loop header -> cycles/iter)`.
+fn longest_path_view(
+    entry: u32,
+    view: &WcetView,
+    body: &dyn Fn(u32) -> u64,
+) -> Option<(u64, BTreeMap<u32, u64>)> {
+    view.get(&entry)?;
+    // DFS from the entry classifying back edges (u -> v with v on the DFS
+    // stack). Firmware CFGs here are reducible; anything stranger still
+    // terminates because back edges are removed below.
+    let mut on_stack: BTreeSet<u32> = BTreeSet::new();
+    let mut visited: BTreeSet<u32> = BTreeSet::new();
+    let mut back_edges: Vec<(u32, u32)> = Vec::new();
+    let mut stack: Vec<(u32, usize)> = vec![(entry, 0)];
+    visited.insert(entry);
+    on_stack.insert(entry);
+    while let Some(&mut (at, ref mut next)) = stack.last_mut() {
+        let succs = &view[&at];
+        if *next < succs.len() {
+            let (s, _) = succs[*next];
+            *next += 1;
+            if !view.contains_key(&s) {
+                continue;
+            }
+            if on_stack.contains(&s) {
+                back_edges.push((at, s));
+            } else if visited.insert(s) {
+                on_stack.insert(s);
+                stack.push((s, 0));
+            }
+        } else {
+            on_stack.remove(&at);
+            stack.pop();
+        }
+    }
+
+    let is_back = |u: u32, v: u32| back_edges.iter().any(|&(a, b)| (a, b) == (u, v));
+
+    // Longest path over the forward (acyclic) subgraph.
+    let order = topo_order_view(view, &visited, &is_back);
+    let mut dist: BTreeMap<u32, u64> = BTreeMap::new();
+    dist.insert(entry, 0);
+    let mut best = 0u64;
+    for &at in &order {
+        let Some(&d) = dist.get(&at) else { continue };
+        let here = d + body(at);
+        let term = view[&at].iter().map(|&(_, c)| c).max().unwrap_or(0);
+        best = best.max(here + term);
+        for &(s, c) in &view[&at] {
+            if is_back(at, s) || !view.contains_key(&s) {
+                continue;
+            }
+            let cand = here + c;
+            let e = dist.entry(s).or_insert(cand);
+            *e = (*e).max(cand);
+        }
+    }
+
+    // Per-loop bound: for each back edge u -> h, the worst path from h to u
+    // inside the natural loop, plus the back edge itself.
+    let mut loop_bounds: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(u, h) in &back_edges {
+        let members = natural_loop_view(view, u, h);
+        let sub_order: Vec<u32> = order
+            .iter()
+            .copied()
+            .filter(|b| members.contains(b))
+            .collect();
+        let mut d: BTreeMap<u32, u64> = BTreeMap::new();
+        d.insert(h, 0);
+        for &at in &sub_order {
+            let Some(&da) = d.get(&at) else { continue };
+            for &(s, c) in &view[&at] {
+                if is_back(at, s) || !members.contains(&s) {
+                    continue;
+                }
+                let cand = da + body(at) + c;
+                let e = d.entry(s).or_insert(cand);
+                *e = (*e).max(cand);
+            }
+        }
+        let edge_cost = view[&u]
+            .iter()
+            .find(|&&(s, _)| s == h)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        if let Some(&du) = d.get(&u) {
+            let iter = du + body(u) + edge_cost;
+            let e = loop_bounds.entry(h).or_insert(iter);
+            *e = (*e).max(iter);
+        }
+    }
+
+    Some((best, loop_bounds))
+}
+
+/// Topological order of `visited` nodes over forward view edges.
+fn topo_order_view(
+    view: &WcetView,
     visited: &BTreeSet<u32>,
     is_back: &dyn Fn(u32, u32) -> bool,
 ) -> Vec<u32> {
     let mut indeg: BTreeMap<u32, usize> = visited.iter().map(|&b| (b, 0)).collect();
     for &b in visited {
-        for &(s, _) in &blocks[&b].succs {
+        for &(s, _) in &view[&b] {
             if visited.contains(&s) && !is_back(b, s) {
                 *indeg.get_mut(&s).unwrap() += 1;
             }
@@ -1565,7 +2678,7 @@ fn topo_order(
     let mut order = Vec::with_capacity(visited.len());
     while let Some(at) = queue.pop_front() {
         order.push(at);
-        for &(s, _) in &blocks[&at].succs {
+        for &(s, _) in &view[&at] {
             if visited.contains(&s) && !is_back(at, s) {
                 let d = indeg.get_mut(&s).unwrap();
                 *d -= 1;
@@ -1580,10 +2693,10 @@ fn topo_order(
 
 /// Natural loop of back edge `u -> h`: `h` plus everything that reaches `u`
 /// without passing through `h`.
-fn natural_loop(blocks: &BTreeMap<u32, Block>, u: u32, h: u32) -> BTreeSet<u32> {
+fn natural_loop_view(view: &WcetView, u: u32, h: u32) -> BTreeSet<u32> {
     let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-    for (&b, block) in blocks {
-        for &(s, _) in &block.succs {
+    for (&b, succs) in view {
+        for &(s, _) in succs {
             preds.entry(s).or_default().push(b);
         }
     }
@@ -1661,10 +2774,104 @@ mod tests {
                 base: 0x0080_7000,
                 bytes: 0x1000,
             }),
+            protocol: None,
             cost: CostModel::default(),
             pmem_wait_cycles: 1,
             accel_read_wait_cycles: 2,
         }
+    }
+
+    /// `devices()` plus the full descriptor/DMA protocol table, mirroring
+    /// the real RPU IO map offsets.
+    fn proto_devices() -> MachineSpec {
+        let mut spec = devices();
+        spec.io_regs = vec![
+            MmioReg {
+                offset: 0x00,
+                name: "RECV_READY",
+                readable: true,
+                writable: false,
+            },
+            MmioReg {
+                offset: 0x04,
+                name: "RECV_DESC_LO",
+                readable: true,
+                writable: false,
+            },
+            MmioReg {
+                offset: 0x08,
+                name: "RECV_DESC_DATA",
+                readable: true,
+                writable: false,
+            },
+            MmioReg {
+                offset: 0x0c,
+                name: "RECV_RELEASE",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x10,
+                name: "SEND_DESC_LO",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x14,
+                name: "SEND_DESC_DATA",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x40,
+                name: "TIMER_CMP",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x44,
+                name: "DMA_HOST_ADDR",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x48,
+                name: "DMA_LOCAL_ADDR",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x4c,
+                name: "DMA_LEN",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x50,
+                name: "DMA_CTRL",
+                readable: false,
+                writable: true,
+            },
+            MmioReg {
+                offset: 0x54,
+                name: "DMA_STATUS",
+                readable: true,
+                writable: false,
+            },
+        ];
+        spec.protocol = Some(ProtocolSpec {
+            recv_ready: 0x00,
+            recv_desc: vec![0x04, 0x08],
+            recv_release: 0x0c,
+            send_stage: 0x10,
+            send_commit: 0x14,
+            dma_host_addr: 0x44,
+            dma_local_addr: 0x48,
+            dma_len: 0x4c,
+            dma_ctrl: 0x50,
+            dma_status: 0x54,
+        });
+        spec
     }
 
     fn check(spec: MachineSpec, asm: &str) -> LintReport {
@@ -2037,5 +3244,538 @@ mod tests {
         assert!(text.contains("loop 0x00000008 <poll>"), "{text}");
         assert!(text.contains("warning[watchdog]"), "{text}");
         assert!(text.trim_end().ends_with("warning(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_report_is_machine_readable() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                sw zero, 0x64(t0)
+                ebreak
+            ",
+        );
+        let json = r.render_json("bad");
+        assert!(json.contains("\"name\":\"bad\""), "{json}");
+        assert!(json.contains("\"check\":\"mmio\""), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("\"path\":["), "{json}");
+    }
+
+    // ---- descriptor/DMA protocol automata ----
+
+    /// The legal poll → read desc → stage → commit → release cycle is clean.
+    #[test]
+    fn protocol_legal_cycle_is_clean() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+            poll:
+                lw a0, 0x00(t0)
+                sw zero, 0x40(t0)      # pet the watchdog
+                beqz a0, poll
+                lw a1, 0x04(t0)        # take the descriptor
+                lw a2, 0x08(t0)
+                sw a1, 0x10(t0)        # stage
+                sw a2, 0x14(t0)        # commit
+                sw zero, 0x0c(t0)      # release
+                j poll
+            ",
+        );
+        assert!(!r.has_errors(), "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn protocol_use_after_release_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                lw a0, 0x00(t0)
+                lw a1, 0x04(t0)
+                sw zero, 0x0c(t0)      # release
+                lw a2, 0x08(t0)        # ...then read the released slot
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Protocol, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn protocol_desc_read_without_poll_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                lw a1, 0x04(t0)        # no RECV_READY poll first
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Protocol, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn protocol_double_commit_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                lw a0, 0x00(t0)
+                lw a1, 0x04(t0)
+                sw a1, 0x10(t0)        # stage
+                sw a1, 0x14(t0)        # commit
+                sw a1, 0x14(t0)        # commit again: nothing staged
+                sw zero, 0x0c(t0)
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Protocol, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn protocol_double_release_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                lw a0, 0x00(t0)
+                sw zero, 0x0c(t0)
+                sw zero, 0x0c(t0)      # slot already back with the scheduler
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Protocol, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn protocol_missed_completion_poll_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li a0, 0x100
+                sw a0, 0x44(t0)        # host addr
+                sw a0, 0x48(t0)        # local addr
+                sw a0, 0x4c(t0)        # len
+                sw a0, 0x50(t0)        # kick
+                sw a0, 0x50(t0)        # kick again without polling DMA_STATUS
+                ebreak
+            ",
+        );
+        let msgs: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.check == Check::Protocol && d.severity == Severity::Error)
+            .collect();
+        assert!(
+            msgs.iter().any(|d| d.message.contains("completion poll")),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn protocol_completion_poll_resets_dma_state() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li a0, 0x100
+                sw a0, 0x44(t0)
+                sw a0, 0x48(t0)
+                sw a0, 0x4c(t0)
+                sw a0, 0x50(t0)        # kick
+            wait:
+                lw a1, 0x54(t0)        # completion poll
+                sw zero, 0x40(t0)      # pet
+                beqz a1, wait
+                sw a0, 0x50(t0)        # second transfer is now legal
+                lw a1, 0x54(t0)
+                ebreak
+            ",
+        );
+        assert!(!r.has_errors(), "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn protocol_dma_kick_without_params_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li a0, 1
+                sw a0, 0x50(t0)        # kick with nothing programmed
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Protocol, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn protocol_param_store_during_flight_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li a0, 0x100
+                sw a0, 0x44(t0)
+                sw a0, 0x48(t0)
+                sw a0, 0x4c(t0)
+                sw a0, 0x50(t0)        # kick
+                sw a0, 0x48(t0)        # reprogram mid-flight (buffer reuse)
+                ebreak
+            ",
+        );
+        let msgs: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.check == Check::Protocol && d.severity == Severity::Error)
+            .collect();
+        assert!(
+            msgs.iter().any(|d| d.message.contains("in flight")),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn protocol_halt_with_held_descriptor_warns() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                lw a0, 0x00(t0)
+                lw a1, 0x04(t0)        # take the slot...
+                ebreak                 # ...and never release it
+            ",
+        );
+        assert!(
+            has(&r, Check::Protocol, Severity::Warning),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    // ---- packet-byte taint ----
+
+    #[test]
+    fn tainted_dma_len_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li t1, 0x01000000
+                lw a0, 0(t1)           # packet bytes
+                sw a0, 0x4c(t0)        # straight into DMA_LEN
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Taint, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn masked_dma_len_is_clean() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li t1, 0x01000000
+                lw a0, 0(t1)
+                andi a0, a0, 0x3ff     # mask sanitizes the length
+                sw a0, 0x4c(t0)
+                ebreak
+            ",
+        );
+        assert!(
+            !has(&r, Check::Taint, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn bounds_guard_sanitizes_dma_len() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li t1, 0x01000000
+                lw a0, 0(t1)
+                li t2, 1024
+                bltu a0, t2, ok        # guard proves a0 < 1024 on this edge
+                ebreak
+            ok:
+                sw a0, 0x4c(t0)
+                ebreak
+            ",
+        );
+        assert!(
+            !has(&r, Check::Taint, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn unguarded_twin_is_flagged() {
+        // Same program as above minus the guard: the taint must survive.
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li t1, 0x01000000
+                lw a0, 0(t1)
+                sw a0, 0x4c(t0)
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Taint, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn tainted_indirect_jump_is_error() {
+        let r = check(
+            proto_devices(),
+            "
+                li t1, 0x01000000
+                lw a0, 0(t1)
+                jr a0                  # packet bytes pick the target
+            ",
+        );
+        assert!(
+            has(&r, Check::Taint, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn tainted_loop_bound_warns() {
+        let r = check(
+            proto_devices(),
+            "
+                li t1, 0x01000000
+                lw a0, 0(t1)           # packet-controlled counter
+                li a1, 0
+            loop:
+                addi a1, a1, 1
+                sw zero, 0x40(t1)      # (pmem store: keeps watchdog quiet? no)
+                bltu a1, a0, loop
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Taint, Severity::Warning),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn taint_flows_through_memory() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li t1, 0x01000000
+                li t2, 0x00800000
+                lw a0, 0(t1)           # packet bytes
+                sw a0, 0(t2)           # spill to dmem
+                lw a1, 0(t2)           # reload: still tainted
+                sw a1, 0x4c(t0)
+                ebreak
+            ",
+        );
+        assert!(
+            has(&r, Check::Taint, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn clean_store_clears_memory_taint() {
+        let r = check(
+            proto_devices(),
+            "
+                li t0, 0x02000000
+                li t1, 0x01000000
+                li t2, 0x00800000
+                lw a0, 0(t1)
+                sw a0, 0(t2)           # taint the slot
+                sw zero, 0(t2)         # strong update with a clean word
+                lw a1, 0(t2)
+                sw a1, 0x4c(t0)
+                ebreak
+            ",
+        );
+        assert!(
+            !has(&r, Check::Taint, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    // ---- interval domain ----
+
+    /// A bounded pointer sweep over dmem must not raise region errors even
+    /// though the address is not a single constant.
+    #[test]
+    fn bounded_pointer_range_has_no_region_error() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x00800000
+                li t1, 0x00800040
+            loop:
+                lw a0, 0(t0)
+                addi t0, t0, 4
+                bltu t0, t1, loop
+                ebreak
+            ",
+        );
+        assert!(
+            !has(&r, Check::Region, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    /// Equality guards refine to constants: `beq` against a constant makes
+    /// the value exact on the taken edge.
+    #[test]
+    fn equality_guard_refines_to_constant() {
+        let r = check(
+            devices(),
+            "
+                li t0, 0x02000000
+                lw a0, 0x00(t0)        # unknown value
+                li t1, 0x02000040
+                beq a0, t1, hit
+                ebreak
+            hit:
+                sw zero, 0(a0)         # a0 == 0x02000040 == TIMER_CMP here
+                ebreak
+            ",
+        );
+        // The store hits TIMER_CMP (writable), so there must be no MMIO
+        // error on the refined path.
+        assert!(
+            !has(&r, Check::Mmio, Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    // ---- call/return idiom ----
+
+    #[test]
+    fn helper_call_and_return_are_followed() {
+        let r = check(
+            MachineSpec::bare(4096, 65536),
+            "
+                li sp, 0x8000
+                li a0, 5
+                call double
+                call double
+                ebreak
+            double:
+                add a0, a0, a0
+                ret
+            ",
+        );
+        // No unreachable-code or unresolved-flow noise for the helper.
+        assert!(
+            !has(&r, Check::Dead, Severity::Warning),
+            "{:#?}",
+            r.diagnostics
+        );
+        assert!(
+            !has(&r, Check::Flow, Severity::Warning),
+            "{:#?}",
+            r.diagnostics
+        );
+        assert!(!r.has_errors(), "{:#?}", r.diagnostics);
+    }
+
+    /// A helper called twice must be charged twice in the caller's WCET.
+    #[test]
+    fn wcet_charges_each_call_site() {
+        let image = assemble(
+            "
+                li a0, 5
+                call double
+                call double
+                ebreak
+            double:
+                add a0, a0, a0
+                ret
+            ",
+        )
+        .unwrap();
+        let report = bare().check(&image);
+        let entry = report.wcet.iter().find(|w| w.entry == 0).unwrap();
+        let mut bus = RamBus::new(65536);
+        bus.load_image(0, image.words());
+        let mut cpu = Cpu::new(0);
+        while !matches!(cpu.step(&mut bus), StepResult::Break) {}
+        assert!(
+            entry.acyclic_cycles >= cpu.cycles(),
+            "bound {} < measured {} (helper under-charged?)",
+            entry.acyclic_cycles,
+            cpu.cycles()
+        );
+    }
+
+    #[test]
+    fn recursion_is_flagged_not_followed() {
+        let r = check(
+            MachineSpec::bare(4096, 65536),
+            "
+                li sp, 0x8000
+                li a0, 5
+                call spin
+                ebreak
+            spin:
+                addi a0, a0, -1
+                call spin
+                ret
+            ",
+        );
+        assert!(
+            has(&r, Check::Flow, Severity::Warning),
+            "{:#?}",
+            r.diagnostics
+        );
     }
 }

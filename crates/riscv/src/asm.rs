@@ -13,7 +13,7 @@
 //! data directives pad their extent to a word boundary so code that follows
 //! stays aligned.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::isa::{encode, AluOp, BranchOp, CsrOp, CsrSrc, Instr, LoadOp, MulOp, Reg, StoreOp};
@@ -23,7 +23,7 @@ use crate::isa::{encode, AluOp, BranchOp, CsrOp, CsrSrc, Instr, LoadOp, MulOp, R
 pub struct Image {
     base: u32,
     words: Vec<u32>,
-    symbols: HashMap<String, u32>,
+    symbols: BTreeMap<String, u32>,
 }
 
 impl Image {
@@ -116,7 +116,7 @@ pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
     let statements = parse(source)?;
 
     // Pass 1: lay out addresses and collect symbols.
-    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
     let mut pc = base;
     let mut placed: Vec<(u32, &Statement)> = Vec::new();
     for stmt in &statements {
@@ -491,7 +491,7 @@ fn parse_int(s: &str) -> Option<i64> {
     Some(if neg { -value } else { value })
 }
 
-fn eval(expr: &Expr, symbols: &HashMap<String, u32>, pos: Pos) -> Result<i64, AsmError> {
+fn eval(expr: &Expr, symbols: &BTreeMap<String, u32>, pos: Pos) -> Result<i64, AsmError> {
     match expr {
         Expr::Lit(v) => Ok(*v),
         Expr::Sym(name, offset) => symbols
@@ -542,7 +542,7 @@ fn reg_op(operands: &[String], idx: usize, pos: Pos) -> Result<Reg, AsmError> {
 fn imm_op(
     operands: &[String],
     idx: usize,
-    symbols: &HashMap<String, u32>,
+    symbols: &BTreeMap<String, u32>,
     pos: Pos,
 ) -> Result<i64, AsmError> {
     let text = operands
@@ -555,7 +555,7 @@ fn imm_op(
 fn mem_op(
     operands: &[String],
     idx: usize,
-    symbols: &HashMap<String, u32>,
+    symbols: &BTreeMap<String, u32>,
     pos: Pos,
 ) -> Result<(Reg, i32), AsmError> {
     let text = operands
@@ -629,7 +629,7 @@ fn lower(
     mnemonic: &str,
     operands: &[String],
     pc: u32,
-    symbols: &HashMap<String, u32>,
+    symbols: &BTreeMap<String, u32>,
     pos: Pos,
 ) -> Result<Vec<Instr>, AsmError> {
     use Instr::*;

@@ -44,8 +44,8 @@ mod icache;
 mod isa;
 
 pub use analyze::{
-    Analyzer, Check, Diagnostic, EntryWcet, LintReport, LoopBound, MachineSpec, MmioReg, Region,
-    Severity,
+    Analyzer, Check, Diagnostic, EntryWcet, LintReport, LoopBound, MachineSpec, MmioReg,
+    ProtocolSpec, Region, Severity,
 };
 pub use asm::{assemble, assemble_at, AsmError, Image, Pos};
 pub use cpu::{

@@ -1,6 +1,6 @@
 //! Static firmware lint — run the analyzer (CFG + abstract interpretation +
-//! WCET) over shipped firmware or your own `.s` files, without simulating a
-//! single cycle.
+//! protocol/taint checks + WCET) over shipped firmware or your own `.s`
+//! files, without simulating a single cycle.
 //!
 //! Run with:
 //!
@@ -8,16 +8,23 @@
 //! cargo run --release --example lint                 # lint every builtin
 //! cargo run --release --example lint -- firewall     # one builtin
 //! cargo run --release --example lint -- my_fw.s      # your own assembly
-//! cargo run --release --example lint -- --deny ...   # warnings fail too
+//! cargo run --release --example lint -- --deny ...   # mirror the load gate
+//! cargo run --release --example lint -- --strict ... # warnings fail too
+//! cargo run --release --example lint -- --json ...   # machine-readable
 //! ```
 //!
-//! Exit status is non-zero when any report contains errors (or, under
-//! `--deny`, any findings at all) — suitable for CI.
+//! `--deny` mirrors `LoadPolicy::Deny` exactly: the exit status is non-zero
+//! when any report contains *errors* (the same findings that would refuse
+//! the image at load time). `--strict` additionally fails on warnings.
+//! `--json` replaces the text reports with one JSON object per target
+//! (check id, severity, PC, and witness path per diagnostic), for CI
+//! artifacts and editor integration.
 
 use rosebud::apps::firewall::FIREWALL_ASM;
 use rosebud::apps::forwarder::{
     duty_cycle_forwarder_asm, watchdog_forwarder_asm, FORWARDER_ASM, FORWARDER_SINGLE_PORT_ASM,
 };
+use rosebud::apps::host_dma::host_dma_forwarder_asm;
 use rosebud::apps::pigasus_asm::PIGASUS_HW_ASM;
 use rosebud::core::{machine_spec, RosebudConfig};
 use rosebud::riscv::{assemble, Analyzer};
@@ -32,6 +39,7 @@ fn builtins() -> Vec<(&'static str, String)> {
         ),
         ("watchdog-forwarder", watchdog_forwarder_asm(4096)),
         ("duty-cycle-forwarder", duty_cycle_forwarder_asm(2048)),
+        ("host-dma-forwarder", host_dma_forwarder_asm(65536)),
         ("firewall", FIREWALL_ASM.to_string()),
         ("pigasus", PIGASUS_HW_ASM.to_string()),
     ]
@@ -39,12 +47,16 @@ fn builtins() -> Vec<(&'static str, String)> {
 
 fn main() {
     let mut deny = false;
+    let mut strict = false;
+    let mut json = false;
     let mut targets: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--strict" => strict = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: lint [--deny] [NAME|FILE.s ...]");
+                eprintln!("usage: lint [--deny] [--strict] [--json] [NAME|FILE.s ...]");
                 eprintln!("builtins: {}", builtin_names().join(", "));
                 return;
             }
@@ -82,6 +94,7 @@ fn main() {
     let analyzer = Analyzer::new(machine_spec(&RosebudConfig::with_rpus(1)));
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut json_reports: Vec<String> = Vec::new();
     for (name, src) in &jobs {
         let image = match assemble(src) {
             Ok(image) => image,
@@ -93,17 +106,28 @@ fn main() {
             }
         };
         let report = analyzer.check(&image);
-        print!("{}", report.render(name));
-        println!();
+        if json {
+            json_reports.push(report.render_json(name));
+        } else {
+            print!("{}", report.render(name));
+            println!();
+        }
         errors += report.error_count();
         warnings += report.warning_count();
     }
 
-    println!(
-        "lint: {} target(s), {errors} error(s), {warnings} warning(s)",
-        jobs.len()
-    );
-    if errors > 0 || (deny && warnings > 0) {
+    if json {
+        println!("[{}]", json_reports.join(","));
+    } else {
+        println!(
+            "lint: {} target(s), {errors} error(s), {warnings} warning(s)",
+            jobs.len()
+        );
+    }
+    // Default and --deny both fail on errors (the findings LoadPolicy::Deny
+    // refuses); --strict also fails on warnings.
+    let _ = deny;
+    if errors > 0 || (strict && warnings > 0) {
         std::process::exit(1);
     }
 }

@@ -14,10 +14,11 @@ use rosebud::apps::forwarder::{
     duty_cycle_forwarder_asm, forwarder_image, watchdog_forwarder_asm, FORWARDER_ASM,
     FORWARDER_SINGLE_PORT_ASM,
 };
+use rosebud::apps::host_dma::host_dma_forwarder_asm;
 use rosebud::apps::pigasus_asm::PIGASUS_HW_ASM;
 use rosebud::core::{
-    machine_spec, Harness, LoadPolicy, Rosebud, RosebudConfig, RoundRobinLb, RpuProgram, RpuState,
-    RpuTestbench,
+    machine_spec, Fleet, FleetConfig, Harness, KernelMode, LoadPolicy, Rosebud, RosebudConfig,
+    RoundRobinLb, RpuProgram, RpuState, RpuTestbench,
 };
 use rosebud::net::PacketBuilder;
 use rosebud::riscv::{assemble, Analyzer, Check, LintReport, Severity};
@@ -221,6 +222,121 @@ fn unreachable_code_is_a_dead_code_warning() {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol and taint fixtures: one bad firmware per new check, each denied
+// with a CFG-path witness naming the violating PC.
+// ---------------------------------------------------------------------------
+
+/// Asserts the report carries an error of `check` whose message mentions
+/// `needle`, anchored at a PC with a non-empty CFG-path witness.
+fn assert_denied_with_witness(report: &LintReport, check: Check, needle: &str) {
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == Severity::Error && d.check == check && d.message.contains(needle))
+        .unwrap_or_else(|| {
+            panic!(
+                "expected error[{check}] mentioning {needle:?}:\n{}",
+                report.render("fixture")
+            )
+        });
+    assert!(
+        !d.path.is_empty(),
+        "diagnostic at pc 0x{:08x} has no CFG-path witness",
+        d.pc
+    );
+    assert_eq!(
+        *d.path.last().unwrap() % 4,
+        0,
+        "witness path must end at the violating block"
+    );
+}
+
+#[test]
+fn use_after_release_is_denied_with_witness() {
+    let report = check(
+        "
+            li t0, 0x02000000
+        poll:
+            lw a0, 0x00(t0)          # RECV_READY
+            beqz a0, poll
+            lw a1, 0x04(t0)          # take the descriptor
+            sw zero, 0x0c(t0)        # release the slot...
+            lw a2, 0x08(t0)          # ...then read it again
+            sw a1, 0x10(t0)
+            sw a2, 0x14(t0)
+            j poll
+        ",
+    );
+    assert_denied_with_witness(&report, Check::Protocol, "use-after-release");
+}
+
+#[test]
+fn double_commit_is_denied_with_witness() {
+    let report = check(
+        "
+            li t0, 0x02000000
+        poll:
+            lw a0, 0x00(t0)
+            beqz a0, poll
+            lw a1, 0x04(t0)
+            lw a2, 0x08(t0)
+            sw zero, 0x0c(t0)
+            sw a1, 0x10(t0)          # stage
+            sw a2, 0x14(t0)          # commit
+            sw a2, 0x14(t0)          # commit again: nothing staged
+            j poll
+        ",
+    );
+    assert_denied_with_witness(&report, Check::Protocol, "double commit");
+}
+
+#[test]
+fn tainted_dma_length_is_denied_with_witness() {
+    // The DMA length comes straight from a packet-buffer load — an
+    // attacker-sized transfer. The sanitized variant is the shipped
+    // host-dma forwarder, which lints clean.
+    let report = check(TAINTED_DMA_FIRMWARE);
+    assert_denied_with_witness(&report, Check::Taint, "DMA transfer length");
+}
+
+#[test]
+fn unsanitized_indirect_jump_is_denied_with_witness() {
+    let report = check(
+        "
+            li t0, 0x02000000
+        poll:
+            lw a0, 0x00(t0)
+            beqz a0, poll
+            lw a1, 0x08(t0)          # descriptor field: packet-influenced
+            jr a1                    # dispatch through it, unmasked
+        ",
+    );
+    assert_denied_with_witness(&report, Check::Taint, "indirect jump");
+}
+
+#[test]
+fn missed_completion_poll_is_denied_with_witness() {
+    let report = check(
+        "
+            li t0, 0x02000000
+            li a0, 0x01000000
+            li a1, 64
+        kick:
+            sw zero, 0x44(t0)        # DMA_HOST_ADDR
+            sw a0, 0x48(t0)          # DMA_LOCAL_ADDR
+            sw a1, 0x4c(t0)          # DMA_LEN
+            li a2, 1
+            sw a2, 0x50(t0)          # DMA_CTRL: kick...
+            sw a2, 0x50(t0)          # ...and kick again, never polling
+        spin:
+            wfi
+            j spin
+        ",
+    );
+    assert_denied_with_witness(&report, Check::Protocol, "completion poll");
+}
+
+// ---------------------------------------------------------------------------
 // Shipped firmware: zero errors, snapshotted reports.
 // ---------------------------------------------------------------------------
 
@@ -234,6 +350,7 @@ fn shipped() -> Vec<(&'static str, String)> {
         ),
         ("watchdog-forwarder", watchdog_forwarder_asm(4096)),
         ("duty-cycle-forwarder", duty_cycle_forwarder_asm(2048)),
+        ("host-dma-forwarder", host_dma_forwarder_asm(65536)),
         ("firewall", FIREWALL_ASM.to_string()),
         ("pigasus", PIGASUS_HW_ASM.to_string()),
     ]
@@ -294,6 +411,30 @@ const BAD_FIRMWARE: &str = "
     spin:
         lw a0, 0x10(t0)
         j spin
+";
+
+/// Firmware with a taint error: packet bytes flow into `DMA_LEN` with no
+/// mask or bounds guard — an attacker sizes the host-DRAM transfer.
+const TAINTED_DMA_FIRMWARE: &str = "
+        li t0, 0x02000000
+        li t1, 0x01000000
+    poll:
+        lw a0, 0x00(t0)          # RECV_READY
+        beqz a0, poll
+        lw a1, 0x04(t0)          # take the descriptor
+        lw a2, 0(t1)             # length word from the packet body
+        sw zero, 0x44(t0)        # DMA_HOST_ADDR
+        sw t1, 0x48(t0)          # DMA_LOCAL_ADDR
+        sw a2, 0x4c(t0)          # DMA_LEN: attacker-controlled
+        li a3, 1
+        sw a3, 0x50(t0)          # kick
+    wait:
+        lw a3, 0x54(t0)
+        bnez a3, wait
+        sw zero, 0x0c(t0)
+        sw a1, 0x10(t0)
+        sw a1, 0x14(t0)
+        j poll
 ";
 
 fn forwarder_system(policy: LoadPolicy) -> Result<Rosebud, String> {
@@ -391,6 +532,56 @@ fn deny_policy_blocks_a_bad_host_load() {
 fn off_policy_records_nothing() {
     let sys = forwarder_system(LoadPolicy::Off).unwrap();
     assert!(sys.lint_log().is_empty());
+}
+
+/// The acceptance drill one level up: a tainted-DMA image pushed over the
+/// fleet PR-reload path is provably blocked — the box's lane finishes the
+/// bitstream write but never boots, staying inert in `Reconfiguring` with
+/// its LB enable bit clear, and the denial (a taint error) is on record.
+#[test]
+fn fleet_pr_reload_denies_tainted_dma_firmware() {
+    let mut fleet = Fleet::new(
+        FleetConfig {
+            boxes: 2,
+            ..FleetConfig::default()
+        },
+        KernelMode::Sequential,
+        |_| forwarder_system(LoadPolicy::Deny).expect("good boot firmware"),
+    )
+    .unwrap();
+
+    let bad = assemble(TAINTED_DMA_FIRMWARE).unwrap();
+    fleet
+        .sys_mut(0)
+        .reconfigure_rpu(1, Some(RpuProgram::Riscv(bad)), None);
+    let pr = fleet.sys(0).config().pr_cycles;
+    fleet.run(pr + 10_000);
+
+    let sys = fleet.sys(0);
+    assert!(
+        matches!(sys.rpus()[1].state(), RpuState::Reconfiguring { .. }),
+        "denied lane must stay inert, got {:?}",
+        sys.rpus()[1].state()
+    );
+    assert_eq!(
+        sys.enabled_mask() & 0b10,
+        0,
+        "LB must not route to the denied lane"
+    );
+    let last = sys.lint_log().last().unwrap();
+    assert!(last.denied && last.rpu == 1);
+    assert!(
+        last.report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error
+                && d.check == Check::Taint
+                && !d.path.is_empty()),
+        "the denial must carry the taint error with its witness path:\n{}",
+        last.report.render("tainted-dma")
+    );
+    // The sibling box was never touched and keeps forwarding state intact.
+    assert_eq!(fleet.sys(1).enabled_mask() & 0b1111, 0b1111);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,104 @@
+//! Determinism source-lint: the simulation core must stay bit-reproducible,
+//! so its sources may not reach for nondeterminism — wall-clock time,
+//! unordered hash-map iteration, or OS-seeded randomness. The packet/cycle
+//! goldens and the lint golden all depend on this.
+//!
+//! The scan is deliberately dumb (substring match per line, comments
+//! stripped) so a violation is obvious from the failure message; anything
+//! intentional goes in [`ALLOWLIST`] with a reason.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources feed deterministic simulation results.
+const SCANNED: &[&str] = &["crates/core/src", "crates/kernel/src", "crates/riscv/src"];
+
+/// Patterns that smell like nondeterminism in a simulation core.
+const HAZARDS: &[(&str, &str)] = &[
+    (
+        "std::time::Instant",
+        "wall-clock time varies run to run; use simulated cycles",
+    ),
+    ("Instant::now", "wall-clock time; use simulated cycles"),
+    ("SystemTime", "wall-clock time; use simulated cycles"),
+    (
+        "HashMap",
+        "iteration order is seeded per-process; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is seeded per-process; use BTreeSet",
+    ),
+    ("thread_rng", "OS-seeded randomness; use a seeded PRNG"),
+    ("rand::random", "OS-seeded randomness; use a seeded PRNG"),
+];
+
+/// Known-intentional uses: (path suffix, pattern, reason). The reason is
+/// printed when an allowlist entry goes stale so it can be pruned. The
+/// async/bench shell (`crates/bench`, the criterion stand-in) is outside
+/// [`SCANNED`] entirely — wall-clock timing is its whole job — so entries
+/// here should stay rare: currently none.
+const ALLOWLIST: &[(&str, &str, &str)] = &[];
+
+fn allowed(path: &str, pattern: &str) -> bool {
+    ALLOWLIST
+        .iter()
+        .any(|(suffix, pat, _)| path.ends_with(suffix) && *pat == pattern)
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("scanned directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+#[test]
+fn simulation_core_sources_are_deterministic() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = String::new();
+    let mut used_allowlist: Vec<(&str, &str)> = Vec::new();
+
+    for dir in SCANNED {
+        let mut files = Vec::new();
+        rust_files(&root.join(dir), &mut files);
+        assert!(!files.is_empty(), "{dir} has sources to scan");
+        for file in files {
+            let rel = file.strip_prefix(&root).unwrap().display().to_string();
+            let text = std::fs::read_to_string(&file).unwrap();
+            for (lineno, line) in text.lines().enumerate() {
+                // Strip line comments so prose mentioning a hazard is fine.
+                let code = line.split("//").next().unwrap_or("");
+                for (pattern, why) in HAZARDS {
+                    if !code.contains(pattern) {
+                        continue;
+                    }
+                    if allowed(&rel, pattern) {
+                        used_allowlist.push((pattern, why));
+                        continue;
+                    }
+                    writeln!(violations, "{rel}:{}: `{pattern}` ({why})", lineno + 1).unwrap();
+                }
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "nondeterminism hazards in the simulation core:\n{violations}\
+         (intentional uses go in ALLOWLIST with a reason)"
+    );
+
+    // Stale allowlist entries hide future violations; prune them.
+    for (suffix, pattern, reason) in ALLOWLIST {
+        assert!(
+            used_allowlist.iter().any(|(p, _)| p == pattern) && root.join(suffix).exists(),
+            "stale ALLOWLIST entry ({suffix}, {pattern}): {reason}"
+        );
+    }
+}
