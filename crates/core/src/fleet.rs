@@ -48,7 +48,7 @@
 //! fleet.assert_conservation();
 //! ```
 
-use rosebud_kernel::{Cycle, DelayLine, KernelMode, Serializer};
+use rosebud_kernel::{Cycle, IngressPort, KernelMode, LinkPort};
 use rosebud_net::{extend_hash, flow_hash, Packet, ShardedFlowTable};
 
 use crate::diag::{BoxHealth, FleetDiagnostics};
@@ -93,13 +93,10 @@ impl Default for FleetConfig {
 /// One rack slot: a [`Rosebud`] DUT plus its front link and fault state.
 struct FleetBox {
     sys: Rosebud,
-    /// Serialization stage of the front link (switch egress toward the box).
-    link: Serializer<Packet>,
-    /// Propagation stage of the front link.
-    wire: DelayLine<Packet>,
-    /// A frame popped off the wire that the box's RX FIFO refused; retried
-    /// before the wire is popped again so ordering is preserved.
-    hold: Option<Packet>,
+    /// The front link as a port: serialization stage (switch egress toward
+    /// the box), propagation stage, and the RX-refusal retry slot, with
+    /// capacity refusals counted instead of silently shed.
+    front: LinkPort<Packet>,
     /// Shell frozen by an injected whole-box crash; the box neither ticks
     /// nor accepts frames until reloaded.
     crashed: bool,
@@ -219,9 +216,11 @@ impl Fleet {
                 sys.set_kernel(kernel);
                 FleetBox {
                     sys,
-                    link: Serializer::new(cfg.link_bytes_per_cycle, cfg.link_capacity),
-                    wire: DelayLine::new(cfg.link_latency),
-                    hold: None,
+                    front: LinkPort::new(
+                        cfg.link_bytes_per_cycle,
+                        cfg.link_capacity,
+                        cfg.link_latency,
+                    ),
                     crashed: false,
                     offline: false,
                     flap_until: 0,
@@ -422,7 +421,7 @@ impl Fleet {
             }
         };
         let wire = pkt.wire_len();
-        match self.boxes[device].link.push(pkt, wire, self.now) {
+        match self.boxes[device].front.push(pkt, wire, self.now) {
             Ok(()) => {
                 self.injected += 1;
                 if let Some(k) = key {
@@ -465,28 +464,20 @@ impl Fleet {
         let deliver =
             !bx.crashed && !bx.offline && !flapped && (!browned || now.is_multiple_of(gate));
         if deliver {
-            loop {
-                let pkt = match bx.hold.take() {
-                    Some(p) => p,
-                    None => match bx.wire.pop_ready(now) {
-                        Some(p) => p,
-                        None => break,
-                    },
-                };
+            while let Some(pkt) = bx.front.poll(now) {
                 match bx.sys.inject(pkt) {
                     Ok(()) => {}
                     Err(p) => {
-                        bx.hold = Some(p);
+                        bx.front.give_back(p);
                         break;
                     }
                 }
             }
         }
         if !flapped {
-            // Frames finishing serialization enter the propagation stage.
-            while let Some(pkt) = bx.link.pop_ready(now) {
-                bx.wire.push(pkt, now);
-            }
+            // Frames finishing serialization enter the propagation stage; a
+            // flapped (dark) link skips the advance and goes nowhere.
+            bx.front.advance(now);
         }
         if !bx.crashed && !bx.offline {
             bx.sys.tick();
@@ -517,18 +508,22 @@ impl Fleet {
     /// frames are frozen until the reload purges them).
     pub fn box_quiesced(&self, device: usize) -> bool {
         let b = &self.boxes[device];
-        b.link.is_empty()
-            && b.wire.is_empty()
-            && b.hold.is_none()
-            && !b.crashed
-            && b.sys.ledger_in_flight() == 0
+        b.front.is_empty() && !b.crashed && b.sys.ledger_in_flight() == 0
     }
 
     /// Frames queued on box `device`'s front link (serializer + wire + the
-    /// retry slot).
+    /// retry slot) — the port-layer backlog signal.
     pub fn front_queue(&self, device: usize) -> u64 {
-        let b = &self.boxes[device];
-        (b.link.len() + b.wire.len() + usize::from(b.hold.is_some())) as u64
+        self.boxes[device].front.backlog() as u64
+    }
+
+    /// Frames the front LB tried to push onto box `device`'s link and were
+    /// refused for capacity — the port-layer backpressure counter. Every
+    /// refusal was handed back to the caller of [`inject`](Self::inject),
+    /// never dropped, which is what keeps the fleet conservation ledger
+    /// balanced under saturation.
+    pub fn front_refused(&self, device: usize) -> u64 {
+        self.boxes[device].front.refused()
     }
 
     /// The health-probe model: round-trip cycles for a probe to box
@@ -573,10 +568,7 @@ impl Fleet {
     /// frames purged.
     pub fn begin_reload(&mut self, device: usize) -> u64 {
         let bx = &mut self.boxes[device];
-        let mut purged = (bx.link.flush() + bx.wire.flush()) as u64;
-        if bx.hold.take().is_some() {
-            purged += 1;
-        }
+        let mut purged = bx.front.flush() as u64;
         purged += bx.sys.ledger_in_flight();
         // Fold the retiring incarnation's ledger into the fleet accumulator
         // so lifetime conservation spans the reload.
@@ -1039,15 +1031,12 @@ impl FleetSupervisor {
 /// Paces a [`TrafficGen`](rosebud_net::TrafficGen) into a [`Fleet`] at a
 /// target aggregate load and aggregates delivery metrics, exactly like the
 /// single-box [`Harness`](crate::Harness) but with one shared byte budget
-/// across the rack and per-box latency histograms.
+/// across the rack (a [`GenPort`](rosebud_net::GenPort) in aggregate mode)
+/// and per-box latency histograms.
 pub struct FleetHarness {
     /// The rack under test.
     pub fleet: Fleet,
-    gen: Box<dyn rosebud_net::TrafficGen>,
-    target_gbps: f64,
-    budget_bytes: f64,
-    pending: Option<Packet>,
-    next_id: u64,
+    source: rosebud_net::GenPort,
     injected: u64,
     received: u64,
     window_start_cycle: Cycle,
@@ -1063,13 +1052,10 @@ impl FleetHarness {
     /// port count.
     pub fn new(fleet: Fleet, gen: Box<dyn rosebud_net::TrafficGen>, target_gbps: f64) -> Self {
         let boxes = fleet.num_boxes();
+        let source = rosebud_net::GenPort::aggregate(gen, target_gbps, fleet.ns_per_cycle());
         Self {
             fleet,
-            gen,
-            target_gbps,
-            budget_bytes: 0.0,
-            pending: None,
-            next_id: 0,
+            source,
             injected: 0,
             received: 0,
             window_start_cycle: 0,
@@ -1082,30 +1068,19 @@ impl FleetHarness {
         }
     }
 
-    /// Advances the rack one cycle, injecting paced traffic first.
+    /// Advances the rack one cycle, injecting paced traffic first through
+    /// the aggregate-mode port (one shared byte budget, a refused frame
+    /// retried next cycle).
     pub fn tick(&mut self) {
-        let bytes_per_cycle = self.target_gbps / 8.0 * self.fleet.ns_per_cycle();
-        self.budget_bytes =
-            (self.budget_bytes + bytes_per_cycle).min(bytes_per_cycle.max(1.0) * 64.0 + 18_000.0);
-        loop {
-            if self.pending.is_none() {
-                let wire = (self.gen.next_size() as u64 + rosebud_net::WIRE_OVERHEAD_BYTES) as f64;
-                if self.budget_bytes < wire {
-                    break;
-                }
-                let pkt = self.gen.generate(self.next_id, self.fleet.now());
-                self.next_id += 1;
-                self.budget_bytes -= pkt.wire_len() as f64;
-                self.pending = Some(pkt);
-            }
-            let pkt = self.pending.take().expect("set above");
+        let now = self.fleet.now();
+        while let Some(pkt) = self.source.poll(now) {
             match self.fleet.inject(pkt) {
                 Ok(()) => {
                     self.injected += 1;
                     self.window_injected += 1;
                 }
                 Err(pkt) => {
-                    self.pending = Some(pkt);
+                    self.source.give_back(pkt);
                     break;
                 }
             }
@@ -1228,6 +1203,33 @@ mod tests {
         assert!(h.received() > 1_000, "received {}", h.received());
         h.fleet.assert_conservation();
         assert!(h.fleet.flows_seen() > 0);
+    }
+
+    #[test]
+    fn front_link_saturation_backpressures_instead_of_dropping() {
+        // Starve the front links (1 B/cycle, 2-deep) and offer far more
+        // than they can carry: capacity refusals must surface through the
+        // port-layer counter AND hand every refused frame back to the
+        // harness — nothing silently shed, so the ledger still balances.
+        let fleet = Fleet::new(
+            FleetConfig {
+                boxes: 2,
+                link_bytes_per_cycle: 1,
+                link_capacity: 2,
+                ..FleetConfig::default()
+            },
+            KernelMode::Sequential,
+            |_| forwarder_box(),
+        )
+        .unwrap();
+        let mut h = FleetHarness::new(fleet, Box::new(FixedSizeGen::new(256, 2)), 100.0);
+        h.run(10_000);
+        let refused: u64 = (0..2).map(|b| h.fleet.front_refused(b)).sum();
+        assert!(refused > 0, "saturated links must report refusals");
+        // Refused frames were handed back, not lost: conservation holds
+        // over everything actually accepted.
+        h.fleet.assert_conservation();
+        assert!(h.received() > 0);
     }
 
     #[test]

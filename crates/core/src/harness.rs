@@ -7,8 +7,9 @@
 //! round-trip latency exactly as the paper's host scripts do.
 
 use rosebud_kernel::LatencyStats;
-use rosebud_net::{Packet, TrafficGen};
+use rosebud_net::{GenPort, Packet, TrafficGen};
 
+use crate::ports::pump;
 use crate::system::Rosebud;
 
 /// Measured results over a window.
@@ -28,14 +29,15 @@ pub struct Measurement {
 }
 
 /// Drives a [`Rosebud`] with generated traffic at a target offered load.
+///
+/// The generator is wrapped in a [`GenPort`] — the paced ingress-port
+/// implementation — and pumped through the same
+/// [`ports::pump`](crate::ports::pump) loop every other traffic source
+/// uses, so the harness is just "a port plus metrics".
 pub struct Harness {
     /// The device under test.
     pub sys: Rosebud,
-    gen: Box<dyn TrafficGen>,
-    target_gbps: f64,
-    budget_bytes: Vec<f64>,
-    pending: Vec<Option<Packet>>,
-    next_id: u64,
+    source: GenPort,
     injected: u64,
     received: u64,
     received_bytes: u64,
@@ -56,13 +58,10 @@ impl Harness {
     /// serialization, exactly like a saturating tester.
     pub fn new(sys: Rosebud, gen: Box<dyn TrafficGen>, target_gbps: f64) -> Self {
         let ports = sys.config().num_ports;
+        let source = GenPort::per_port(gen, target_gbps, sys.config().ns_per_cycle(), ports);
         Self {
             sys,
-            gen,
-            target_gbps,
-            budget_bytes: vec![0.0; ports],
-            pending: vec![None; ports],
-            next_id: 0,
+            source,
             injected: 0,
             received: 0,
             received_bytes: 0,
@@ -89,40 +88,12 @@ impl Harness {
     ///
     /// Each physical port is paced independently at `target_gbps / ports`,
     /// like the tester FPGA's per-port generator RPUs — one congested port
-    /// must not starve the other.
+    /// must not starve the other. That pacing lives in the [`GenPort`]; the
+    /// harness just pumps it.
     pub fn tick(&mut self) {
-        let ports = self.sys.config().num_ports;
-        let bytes_per_cycle =
-            self.target_gbps / 8.0 * self.sys.config().ns_per_cycle() / ports as f64;
-        for p in 0..ports {
-            self.budget_bytes[p] = (self.budget_bytes[p] + bytes_per_cycle)
-                .min(bytes_per_cycle.max(1.0) * 64.0 + 18_000.0);
-            loop {
-                if self.pending[p].is_none() {
-                    let wire =
-                        (self.gen.next_size() as u64 + rosebud_net::WIRE_OVERHEAD_BYTES) as f64;
-                    if self.budget_bytes[p] < wire {
-                        break;
-                    }
-                    let mut pkt = self.gen.generate(self.next_id, self.sys.now());
-                    pkt.port = p as u8;
-                    self.next_id += 1;
-                    self.budget_bytes[p] -= pkt.wire_len() as f64;
-                    self.pending[p] = Some(pkt);
-                }
-                let pkt = self.pending[p].take().expect("set above");
-                match self.sys.inject(pkt) {
-                    Ok(()) => {
-                        self.injected += 1;
-                        self.window_injected += 1;
-                    }
-                    Err(pkt) => {
-                        self.pending[p] = Some(pkt);
-                        break;
-                    }
-                }
-            }
-        }
+        let accepted = pump(&mut self.sys, &mut self.source);
+        self.injected += accepted;
+        self.window_injected += accepted;
 
         self.sys.tick();
 
@@ -222,6 +193,11 @@ impl Harness {
 
     /// The wrapped generator.
     pub fn generator(&self) -> &dyn TrafficGen {
-        &*self.gen
+        self.source.generator()
+    }
+
+    /// The paced ingress port feeding the DUT.
+    pub fn source(&self) -> &GenPort {
+        &self.source
     }
 }

@@ -56,6 +56,7 @@ mod host;
 mod lane;
 mod lb;
 mod par;
+pub mod ports;
 pub mod resources;
 mod rpu;
 mod supervisor;
@@ -76,6 +77,7 @@ pub use fleet::{
 pub use harness::{Harness, Measurement};
 pub use host::{lb_regs, pr_reload_model, MemRegion, PrTimingModel};
 pub use lb::{ConsistentHashRing, HashLb, LeastLoadedLb, LoadBalancer, RoundRobinLb, SlotTracker};
+pub use ports::{pump, EventLog, PortEvent, SharedEgress};
 pub use rosebud_kernel::KernelMode;
 pub use rpu::{Firmware, PerfCounters, Rpu, RpuInner, RpuIo, RpuState};
 pub use supervisor::{RecoveryEvent, Supervisor, SupervisorConfig};

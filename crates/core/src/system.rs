@@ -3,7 +3,7 @@
 
 use rosebud_accel::Accelerator;
 use rosebud_kernel::{
-    Clock, Counters, Cycle, DelayLine, Fifo, KernelMode, LatencyStats, Serializer,
+    Clock, Counters, Cycle, DelayLine, EgressPort, Fifo, KernelMode, LatencyStats, Serializer,
 };
 use rosebud_net::Packet;
 use rosebud_riscv::Image;
@@ -193,6 +193,7 @@ impl RosebudBuilder {
             tracker,
             enabled,
             ports,
+            egress: (0..cfg.num_ports).map(|_| None).collect(),
             ingress_delay: DelayLine::new(cfg.ingress_fixed_cycles),
             loopback: Loopback::new(&cfg),
             bcast: BcastArbiter::new(&cfg),
@@ -267,6 +268,12 @@ pub struct Rosebud {
     pub(crate) tracker: SlotTracker,
     pub(crate) enabled: u64,
     pub(crate) ports: Vec<PortState>,
+    /// Optional egress port bound per physical port: when present, frames
+    /// leaving the TX MAC are offered to it (respecting its capacity — a
+    /// refused frame stays serializing in the MAC, which is real wire-side
+    /// backpressure); when absent, frames land in the port's `output` vec as
+    /// they always have.
+    pub(crate) egress: Vec<Option<Box<dyn EgressPort<Packet> + Send>>>,
     pub(crate) ingress_delay: DelayLine<IngressItem>,
     pub(crate) loopback: Loopback,
     pub(crate) bcast: BcastArbiter,
@@ -512,6 +519,28 @@ impl Rosebud {
     /// Drains frames delivered on physical port `p`.
     pub fn take_output(&mut self, p: usize) -> Vec<Packet> {
         std::mem::take(&mut self.ports[p].output)
+    }
+
+    /// Binds an egress port to physical port `p`: delivered frames are
+    /// offered to it instead of accumulating in the [`take_output`]
+    /// (Self::take_output) vec, and its capacity backpressures the TX MAC.
+    /// Replaces (and returns) any previous binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn bind_egress(
+        &mut self,
+        p: usize,
+        port: Box<dyn EgressPort<Packet> + Send>,
+    ) -> Option<Box<dyn EgressPort<Packet> + Send>> {
+        self.egress[p].replace(port)
+    }
+
+    /// Removes and returns port `p`'s egress binding; deliveries fall back
+    /// to the `take_output` vec.
+    pub fn unbind_egress(&mut self, p: usize) -> Option<Box<dyn EgressPort<Packet> + Send>> {
+        self.egress[p].take()
     }
 
     /// Drains frames delivered to the host over PCIe.
@@ -903,17 +932,43 @@ impl Rosebud {
             }
         }
 
-        // 8. Physical-port egress pipelines → wire.
-        for p in &mut self.ports {
+        // 8. Physical-port egress pipelines → wire. A bound egress port is
+        //    the wire's far side: its capacity is consulted *before* the
+        //    frame leaves the TX MAC, so a congested receiver holds the
+        //    frame serializing in the MAC (real backpressure) instead of
+        //    being dropped past the edge.
+        for (p, eg) in self.ports.iter_mut().zip(self.egress.iter_mut()) {
             if p.tx_delay.peek_ready(now).is_some() && !p.tx_mac.is_full() {
                 let pkt = p.tx_delay.pop_ready(now).expect("peeked ready");
                 let wire = pkt.wire_len();
                 p.tx_mac.push(pkt, wire, now).expect("fullness checked");
             }
+            if let Some(port) = eg {
+                if let Some(front_len) = p.tx_mac.front().map(Packet::len) {
+                    if !port.can_accept(front_len) {
+                        continue;
+                    }
+                }
+            }
             if let Some(pkt) = p.tx_mac.pop_ready(now) {
                 p.counters.count_tx_frame(pkt.len());
-                p.output.push(pkt);
-                self.ledger.delivered += 1;
+                let len = pkt.len();
+                match eg {
+                    Some(port) => match port.offer(pkt, len, now) {
+                        Ok(()) => self.ledger.delivered += 1,
+                        Err(_) => {
+                            // Contract violation (`can_accept` said yes):
+                            // account the frame as dropped so conservation
+                            // still balances.
+                            p.counters.count_drop();
+                            self.ledger.dropped += 1;
+                        }
+                    },
+                    None => {
+                        p.output.push(pkt);
+                        self.ledger.delivered += 1;
+                    }
+                }
             }
         }
 

@@ -10,6 +10,7 @@
 //! packets" simulation numbers (§7.1.4).
 
 use rosebud_accel::Accelerator;
+use rosebud_kernel::IngressPort;
 use rosebud_net::Packet;
 use rosebud_riscv::Image;
 
@@ -139,6 +140,24 @@ impl RpuTestbench {
             .inner_mut()
             .dma_deliver(slot, pkt.bytes(), meta)
             .then_some(slot)
+    }
+
+    /// Delivers every frame `source` has due at the current cycle, stopping
+    /// when the receive queue refuses one (it goes back to the port and is
+    /// re-offered on the next feed). Returns how many frames were
+    /// delivered. This is the bench-scale pump: the same port that drives a
+    /// full system replays into a single bare RPU.
+    pub fn feed(&mut self, source: &mut dyn IngressPort<Packet>) -> usize {
+        let mut delivered = 0;
+        while let Some(pkt) = source.poll(self.now) {
+            if self.deliver(&pkt).is_some() {
+                delivered += 1;
+            } else {
+                source.give_back(pkt);
+                break;
+            }
+        }
+        delivered
     }
 
     /// Advances `cycles` clock cycles, collecting firmware sends.

@@ -61,6 +61,12 @@ impl<T> DelayLine<T> {
         }
     }
 
+    /// The cycle at which the oldest item surfaces, if any is in flight.
+    /// Useful for event-skipping drivers and port-clock queries.
+    pub fn head_at(&self) -> Option<Cycle> {
+        self.items.front().map(|(at, _)| *at)
+    }
+
     /// Number of items in flight.
     pub fn len(&self) -> usize {
         self.items.len()

@@ -15,7 +15,12 @@
 //! * [`LatencyStats`] — latency sample aggregation for round-trip-time
 //!   experiments (paper §6.2),
 //! * [`SimRng`] — a small deterministic PRNG so that every experiment is
-//!   reproducible from a seed.
+//!   reproducible from a seed,
+//! * [`IngressPort`]/[`EgressPort`] and [`PortClock`] — the packet-port
+//!   contract every traffic producer/consumer at a device edge implements
+//!   (cycle-stamped delivery, bounded capacity, explicit backpressure),
+//!   with [`StampedIngress`], [`LinkPort`], and [`CollectEgress`] as the
+//!   reusable implementations.
 //!
 //! # Examples
 //!
@@ -37,6 +42,7 @@ mod clock;
 mod delay;
 mod exec;
 mod fifo;
+mod port;
 mod rng;
 mod serializer;
 mod stats;
@@ -45,6 +51,7 @@ pub use clock::{Clock, Cycle, DEFAULT_CLOCK_HZ};
 pub use delay::DelayLine;
 pub use exec::{partition, KernelMode, DEFAULT_QUANTUM};
 pub use fifo::Fifo;
+pub use port::{CollectEgress, EgressPort, IngressPort, LinkPort, PortClock, StampedIngress};
 pub use rng::SimRng;
 pub use serializer::Serializer;
 pub use stats::{Counters, Histogram, LatencyStats, RateSample, RateWindow};

@@ -34,6 +34,7 @@ mod gen;
 mod headers;
 mod packet;
 mod pcap;
+mod port;
 mod trace;
 
 pub use builder::PacketBuilder;
@@ -44,7 +45,8 @@ pub use headers::{
     ETH_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN, UDP_HEADER_LEN,
 };
 pub use packet::{Packet, PacketId};
-pub use pcap::{parse_pcap, read_pcap_file, to_pcap, write_pcap_file, PcapError};
+pub use pcap::{parse_pcap, read_pcap_file, to_pcap, write_pcap_file, PcapError, PcapWriter};
+pub use port::{GenPort, PcapReplayPort, PcapWriterPort};
 pub use trace::Trace;
 
 /// Per-frame overhead on the Ethernet wire beyond the in-memory packet:

@@ -7,6 +7,7 @@
 //! move between this simulator and those tools.
 
 use std::fmt;
+use std::io::{self, Write};
 
 use crate::packet::Packet;
 use crate::trace::Trace;
@@ -60,25 +61,100 @@ impl std::error::Error for PcapError {}
 /// ```
 pub fn to_pcap(trace: &Trace, clock_hz: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(24 + trace.total_bytes() as usize + 16 * trace.len());
-    out.extend_from_slice(&PCAP_MAGIC_LE.to_le_bytes());
-    out.extend_from_slice(&2u16.to_le_bytes()); // version major
-    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
-    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
-    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
-    out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
-    out.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+    let mut w = PcapWriter::new(&mut out, clock_hz).expect("Vec writes are infallible");
     for pkt in trace {
-        let micros = pkt.ts_gen as u128 * 1_000_000 / clock_hz as u128;
+        w.write_packet(pkt).expect("Vec writes are infallible");
+    }
+    out
+}
+
+/// A streaming pcap writer: header on construction, one record per
+/// [`write_packet`](PcapWriter::write_packet) call. This is the shape the
+/// egress dump ports need — a live or replayed run can emit frames as they
+/// are delivered instead of buffering the whole trace in memory.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_net::{parse_pcap, FixedSizeGen, PcapWriter, TrafficGen};
+///
+/// let mut gen = FixedSizeGen::new(64, 2);
+/// let mut out = Vec::new();
+/// let mut w = PcapWriter::new(&mut out, 250_000_000).unwrap();
+/// for i in 0..3 {
+///     w.write_packet(&gen.generate(i, i * 100)).unwrap();
+/// }
+/// assert_eq!(w.packets_written(), 3);
+/// drop(w);
+/// assert_eq!(parse_pcap(&out, 250_000_000).unwrap().len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    w: W,
+    clock_hz: u64,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the classic little-endian pcap header and returns the writer.
+    /// Record timestamps are derived from packet generation cycles at
+    /// `clock_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut w: W, clock_hz: u64) -> io::Result<Self> {
+        w.write_all(&PCAP_MAGIC_LE.to_le_bytes())?;
+        w.write_all(&2u16.to_le_bytes())?; // version major
+        w.write_all(&4u16.to_le_bytes())?; // version minor
+        w.write_all(&0i32.to_le_bytes())?; // thiszone
+        w.write_all(&0u32.to_le_bytes())?; // sigfigs
+        w.write_all(&65535u32.to_le_bytes())?; // snaplen
+        w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(Self {
+            w,
+            clock_hz,
+            packets: 0,
+        })
+    }
+
+    /// Appends one packet record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_packet(&mut self, pkt: &Packet) -> io::Result<()> {
+        let micros = pkt.ts_gen as u128 * 1_000_000 / self.clock_hz as u128;
         let ts_sec = (micros / 1_000_000) as u32;
         let ts_usec = (micros % 1_000_000) as u32;
         let len = pkt.len() as u32;
-        out.extend_from_slice(&ts_sec.to_le_bytes());
-        out.extend_from_slice(&ts_usec.to_le_bytes());
-        out.extend_from_slice(&len.to_le_bytes()); // incl_len
-        out.extend_from_slice(&len.to_le_bytes()); // orig_len
-        out.extend_from_slice(pkt.bytes());
+        self.w.write_all(&ts_sec.to_le_bytes())?;
+        self.w.write_all(&ts_usec.to_le_bytes())?;
+        self.w.write_all(&len.to_le_bytes())?; // incl_len
+        self.w.write_all(&len.to_le_bytes())?; // orig_len
+        self.w.write_all(pkt.bytes())?;
+        self.packets += 1;
+        Ok(())
     }
-    out
+
+    /// Records written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
 }
 
 /// Parses a classic little-endian Ethernet pcap file back into a [`Trace`].
@@ -230,6 +306,30 @@ mod tests {
             parse_pcap(&bytes, 1).unwrap_err(),
             PcapError::UnsupportedLinkType(101)
         );
+    }
+
+    #[test]
+    fn streaming_writer_matches_batch_export_byte_for_byte() {
+        let mut gen = FlowTrafficGen::new(4, 200, 0.0, 11);
+        let mut trace = Trace::new();
+        for i in 0..40u64 {
+            trace.push(gen.generate(i, i * 61));
+        }
+        let clock = 250_000_000;
+        let mut streamed = Vec::new();
+        let mut w = PcapWriter::new(&mut streamed, clock).unwrap();
+        for pkt in &trace {
+            w.write_packet(pkt).unwrap();
+        }
+        assert_eq!(w.packets_written(), 40);
+        drop(w);
+        assert_eq!(streamed, to_pcap(&trace, clock));
+        // Write → read → byte-identical packets.
+        let back = parse_pcap(&streamed, clock).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in back.iter().zip(trace.iter()) {
+            assert_eq!(a.bytes(), b.bytes());
+        }
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Port implementations over the `net` traffic sources and sinks.
+//!
+//! The simulation core consumes traffic through the
+//! [`IngressPort`]/[`EgressPort`] contract (see `rosebud_kernel::port`);
+//! this module adapts everything this crate knows how to produce or absorb
+//! onto that contract: paced [`TrafficGen`] sources ([`GenPort`]), pcap
+//! replay ([`PcapReplayPort`]), and streaming pcap capture
+//! ([`PcapWriterPort`]). The adapters are deliberately thin — a future
+//! feeder is "a ~100-line port impl", not a change to the core.
+
+use std::io::Write;
+
+use rosebud_kernel::{Cycle, EgressPort, IngressPort, PortClock, StampedIngress};
+
+use crate::gen::TrafficGen;
+use crate::packet::Packet;
+use crate::pcap::PcapWriter;
+use crate::trace::Trace;
+use crate::WIRE_OVERHEAD_BYTES;
+
+/// A paced [`TrafficGen`] behind the ingress-port contract — the tester
+/// FPGA's per-port generator RPUs as a port.
+///
+/// Pacing reproduces the historical harness byte-for-byte: each physical
+/// port holds an independent byte budget refilled once per cycle at
+/// `target_gbps / ports`, a frame is generated only when the budget covers
+/// its wire occupancy, and a refused frame ([`IngressPort::give_back`])
+/// parks in that port's retry slot while generation moves on to the next
+/// physical port — one congested port must not starve the others.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_kernel::IngressPort;
+/// use rosebud_net::{FixedSizeGen, GenPort};
+///
+/// // 2 physical ports paced to 1 Tbps aggregate at 4 ns/cycle: the first
+/// // cycle's per-lane grant (250 B) covers an 88-wire-byte frame.
+/// let mut port = GenPort::per_port(Box::new(FixedSizeGen::new(64, 2)), 1000.0, 4.0, 2);
+/// let pkt = port.poll(0).expect("budget covers a 64-byte frame");
+/// assert_eq!(pkt.port, 0); // port override: lane 0 generates first
+/// ```
+pub struct GenPort {
+    gen: Box<dyn TrafficGen>,
+    target_gbps: f64,
+    ns_per_cycle: f64,
+    /// One pacing lane per physical port (or a single aggregate lane).
+    budget_bytes: Vec<f64>,
+    pending: Vec<Option<Packet>>,
+    /// Whether generated frames get `pkt.port` overridden with the lane
+    /// index (per-port pacing) or keep the generator's own rotation
+    /// (aggregate pacing, the fleet harness shape).
+    tag_ports: bool,
+    cursor: usize,
+    next_id: u64,
+    last_refill: Option<Cycle>,
+}
+
+impl GenPort {
+    /// Per-physical-port pacing: `ports` independent lanes each offered
+    /// `target_gbps / ports`, generated frames stamped with their lane
+    /// index. This is the single-box tester model.
+    pub fn per_port(
+        gen: Box<dyn TrafficGen>,
+        target_gbps: f64,
+        ns_per_cycle: f64,
+        ports: usize,
+    ) -> Self {
+        assert!(ports > 0, "need at least one port lane");
+        Self {
+            gen,
+            target_gbps,
+            ns_per_cycle,
+            budget_bytes: vec![0.0; ports],
+            pending: vec![None; ports],
+            tag_ports: true,
+            cursor: 0,
+            next_id: 0,
+            last_refill: None,
+        }
+    }
+
+    /// One shared budget at the full `target_gbps`, frames keeping the
+    /// generator's own port rotation — the rack-level tester model.
+    pub fn aggregate(gen: Box<dyn TrafficGen>, target_gbps: f64, ns_per_cycle: f64) -> Self {
+        Self {
+            gen,
+            target_gbps,
+            ns_per_cycle,
+            budget_bytes: vec![0.0],
+            pending: vec![None],
+            tag_ports: false,
+            cursor: 0,
+            next_id: 0,
+            last_refill: None,
+        }
+    }
+
+    /// The wrapped generator.
+    pub fn generator(&self) -> &dyn TrafficGen {
+        &*self.gen
+    }
+
+    /// Frames generated so far (== the next packet id).
+    pub fn generated(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Grants each lane its per-cycle byte budget for every cycle elapsed
+    /// since the last poll, then rewinds the lane cursor. One grant per
+    /// cycle keeps this byte-identical with the historical harness, which
+    /// ticked every cycle; a driver that skips cycles still accrues the
+    /// right budget (capped, so the loop is bounded).
+    fn refill(&mut self, now: Cycle) {
+        let grants = match self.last_refill {
+            None => 1,
+            Some(last) if now > last => (now - last).min(32_768),
+            Some(_) => return,
+        };
+        let lanes = self.budget_bytes.len();
+        let bytes_per_cycle = if self.tag_ports {
+            self.target_gbps / 8.0 * self.ns_per_cycle / lanes as f64
+        } else {
+            self.target_gbps / 8.0 * self.ns_per_cycle
+        };
+        let cap = bytes_per_cycle.max(1.0) * 64.0 + 18_000.0;
+        for _ in 0..grants {
+            for b in &mut self.budget_bytes {
+                *b = (*b + bytes_per_cycle).min(cap);
+            }
+        }
+        self.cursor = 0;
+        self.last_refill = Some(now);
+    }
+}
+
+impl IngressPort<Packet> for GenPort {
+    fn poll(&mut self, now: Cycle) -> Option<Packet> {
+        self.refill(now);
+        let lanes = self.budget_bytes.len();
+        while self.cursor < lanes {
+            let lane = self.cursor;
+            if self.pending[lane].is_none() {
+                let wire = (self.gen.next_size() as u64 + WIRE_OVERHEAD_BYTES) as f64;
+                if self.budget_bytes[lane] < wire {
+                    self.cursor += 1;
+                    continue;
+                }
+                let mut pkt = self.gen.generate(self.next_id, now);
+                if self.tag_ports {
+                    pkt.port = lane as u8;
+                }
+                self.next_id += 1;
+                self.budget_bytes[lane] -= pkt.wire_len() as f64;
+                self.pending[lane] = Some(pkt);
+            }
+            return self.pending[lane].take();
+        }
+        None
+    }
+
+    fn give_back(&mut self, pkt: Packet) {
+        // Park the refused frame in the current lane's retry slot and move
+        // on: the historical harness broke this port's loop on refusal and
+        // continued with the next physical port.
+        let lane = self.cursor.min(self.pending.len() - 1);
+        debug_assert!(self.pending[lane].is_none(), "one retry slot per lane");
+        self.pending[lane] = Some(pkt);
+        self.cursor += 1;
+    }
+
+    fn clock(&self, _now: Cycle) -> PortClock {
+        // A paced source always has more to offer next cycle (budget
+        // permitting); drivers poll every cycle.
+        PortClock::Idle
+    }
+
+    fn backlog(&self) -> usize {
+        self.pending.iter().filter(|p| p.is_some()).count()
+    }
+
+    fn name(&self) -> &'static str {
+        "gen"
+    }
+}
+
+/// Replays a [`Trace`] (typically parsed from a pcap) through the ingress
+/// contract: each packet is delivered at its recorded generation cycle, in
+/// order — `tcpreplay` as a port.
+///
+/// # Examples
+///
+/// ```
+/// use rosebud_kernel::{IngressPort, PortClock};
+/// use rosebud_net::{FixedSizeGen, PcapReplayPort, Trace, TrafficGen};
+///
+/// let mut trace = Trace::new();
+/// let mut gen = FixedSizeGen::new(64, 2);
+/// for i in 0..3u64 {
+///     trace.push(gen.generate(i, i * 50));
+/// }
+/// let mut port = PcapReplayPort::new(&trace);
+/// assert_eq!(port.clock(0), PortClock::Ready);
+/// assert_eq!(port.poll(0).unwrap().id, 0);
+/// assert_eq!(port.clock(0), PortClock::NotBefore(50));
+/// ```
+pub struct PcapReplayPort {
+    inner: StampedIngress<Packet>,
+}
+
+impl PcapReplayPort {
+    /// A replay source over `trace`, delivering each packet at its
+    /// `ts_gen` cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is not sorted by `ts_gen` (pcap captures are).
+    pub fn new(trace: &Trace) -> Self {
+        let mut inner = StampedIngress::new();
+        for pkt in trace {
+            inner.push_at(pkt.ts_gen, pkt.clone());
+        }
+        inner.finish();
+        Self { inner }
+    }
+
+    /// `true` once every packet has been delivered.
+    pub fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted()
+    }
+}
+
+impl IngressPort<Packet> for PcapReplayPort {
+    fn poll(&mut self, now: Cycle) -> Option<Packet> {
+        self.inner.poll(now)
+    }
+
+    fn give_back(&mut self, pkt: Packet) {
+        self.inner.give_back(pkt);
+    }
+
+    fn clock(&self, now: Cycle) -> PortClock {
+        self.inner.clock(now)
+    }
+
+    fn backlog(&self) -> usize {
+        self.inner.backlog()
+    }
+
+    fn name(&self) -> &'static str {
+        "pcap-replay"
+    }
+}
+
+/// An egress port streaming every delivered frame into a pcap — `tcpdump`
+/// as a port. Bind one to a device's egress to dump live or replayed
+/// traffic for offline inspection.
+///
+/// Frames are written with their delivery order preserved; the timestamp
+/// recorded is the packet's generation cycle (the same convention as the
+/// batch exporter). I/O errors are sticky: the first failure is remembered
+/// and later offers still succeed simulation-side (capture must never
+/// perturb the run), but [`PcapWriterPort::io_error`] reports it.
+pub struct PcapWriterPort<W: Write> {
+    writer: PcapWriter<W>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> PcapWriterPort<W> {
+    /// A capture port writing to `w` with cycle→time conversion at
+    /// `clock_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the header write failure.
+    pub fn new(w: W, clock_hz: u64) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: PcapWriter::new(w, clock_hz)?,
+            error: None,
+        })
+    }
+
+    /// Frames captured so far.
+    pub fn packets_written(&self) -> u64 {
+        self.writer.packets_written()
+    }
+
+    /// The first I/O error the capture hit, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer.into_inner())
+    }
+}
+
+impl<W: Write> EgressPort<Packet> for PcapWriterPort<W> {
+    fn can_accept(&self, _len_bytes: u64) -> bool {
+        true
+    }
+
+    fn offer(&mut self, pkt: Packet, _len_bytes: u64, _now: Cycle) -> Result<(), Packet> {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.write_packet(&pkt) {
+                self.error = Some(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "pcap-writer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_pcap, FixedSizeGen};
+
+    #[test]
+    fn gen_port_rotates_lanes_and_retries_refusals() {
+        // 1 Tbps over 2 lanes: 250 B/cycle/lane — one cycle's budget covers
+        // an 88-wire-byte frame immediately.
+        let mut port = GenPort::per_port(Box::new(FixedSizeGen::new(64, 2)), 1000.0, 4.0, 2);
+        let a = port.poll(0).unwrap();
+        assert_eq!(a.port, 0);
+        // Refuse it: generation moves to lane 1, lane 0 retries next cycle.
+        port.give_back(a.clone());
+        let b = port.poll(0).unwrap();
+        assert_eq!(b.port, 1);
+        assert_eq!(port.backlog(), 1);
+        let retry = port.poll(1).unwrap();
+        assert_eq!(retry.id, a.id, "refused frame re-delivered first");
+    }
+
+    #[test]
+    fn gen_port_budget_gates_generation() {
+        // 0.1 Gbps at 4 ns/cycle over 1 lane: 0.05 B/cycle — a 64-byte
+        // frame (88 wire bytes) needs ~1760 cycles of budget.
+        let mut port = GenPort::per_port(Box::new(FixedSizeGen::new(64, 1)), 0.1, 4.0, 1);
+        assert!(port.poll(0).is_none());
+        let mut first = None;
+        for now in 1..4000 {
+            if let Some(pkt) = port.poll(now) {
+                first = Some((pkt, now));
+                break;
+            }
+        }
+        let (_, at) = first.expect("budget eventually covers one frame");
+        assert!((1500..2000).contains(&at), "first frame at cycle {at}");
+    }
+
+    #[test]
+    fn aggregate_mode_keeps_generator_port_rotation() {
+        // 500 B/cycle aggregate budget: four 88-wire-byte frames fit in the
+        // first cycle's grant.
+        let mut port = GenPort::aggregate(Box::new(FixedSizeGen::new(64, 4)), 1000.0, 4.0);
+        let ports: Vec<u8> = (0..4).map(|_| port.poll(0).unwrap().port).collect();
+        assert_eq!(ports, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn replay_port_honors_stamps() {
+        let mut trace = Trace::new();
+        let mut gen = FixedSizeGen::new(64, 2);
+        for i in 0..4u64 {
+            trace.push(gen.generate(i, i * 100));
+        }
+        let mut port = PcapReplayPort::new(&trace);
+        assert_eq!(port.poll(0).unwrap().id, 0);
+        assert!(port.poll(50).is_none());
+        assert_eq!(port.clock(50), PortClock::NotBefore(100));
+        assert_eq!(port.poll(100).unwrap().id, 1);
+        assert_eq!(port.poll(350).unwrap().id, 2);
+        assert_eq!(port.poll(350).unwrap().id, 3);
+        assert!(port.is_exhausted());
+        assert_eq!(port.clock(350), PortClock::Exhausted);
+    }
+
+    #[test]
+    fn writer_port_captures_delivered_frames() {
+        let mut gen = FixedSizeGen::new(128, 2);
+        let mut port = PcapWriterPort::new(Vec::new(), 250_000_000).unwrap();
+        let mut sent = Vec::new();
+        for i in 0..5u64 {
+            let pkt = gen.generate(i, i * 10);
+            let len = pkt.len();
+            port.offer(pkt.clone(), len, i * 10).unwrap();
+            sent.push(pkt);
+        }
+        assert_eq!(port.packets_written(), 5);
+        assert!(port.io_error().is_none());
+        let bytes = port.finish().unwrap();
+        let back = parse_pcap(&bytes, 250_000_000).unwrap();
+        for (a, b) in back.iter().zip(sent.iter()) {
+            assert_eq!(a.bytes(), b.bytes());
+        }
+    }
+}

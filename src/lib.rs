@@ -16,7 +16,9 @@
 //! * [`riscv`] — the RV32IM ISS and assembler,
 //! * [`accel`] — accelerator models (Pigasus MPSE, firewall matcher),
 //! * [`core`] — the Rosebud framework itself,
-//! * [`apps`] — the case studies and the Snort CPU baseline.
+//! * [`apps`] — the case studies and the Snort CPU baseline,
+//! * [`shell`] — the async I/O shell: live backends, record/replay event
+//!   logs, and the control service.
 //!
 //! # Examples
 //!
@@ -32,3 +34,4 @@ pub use rosebud_core as core;
 pub use rosebud_kernel as kernel;
 pub use rosebud_net as net;
 pub use rosebud_riscv as riscv;
+pub use rosebud_shell as shell;

@@ -287,6 +287,40 @@ fn host_pokes_against_sleeping_lanes_are_kernel_invariant() {
 }
 
 #[test]
+fn recorded_live_shell_session_replays_kernel_invariant() {
+    // Record once: a live ring-backed shell serving real frames on the
+    // sequential kernel. Then replay the event log under every kernel — the
+    // record/replay contract must hold not just against the sequential
+    // oracle but across the whole kernel family.
+    use rosebud::core::ports::replay;
+    use rosebud::shell::{RingBackend, Shell};
+
+    let (backend, peer) = RingBackend::pair();
+    let mut shell = Shell::new(build_forwarding_system(8).unwrap(), backend);
+    for i in 0..32u64 {
+        peer.send((i % 2) as u8, vec![i as u8; 64 + (i as usize * 13) % 400]);
+        shell.pump(29);
+    }
+    shell.pump(4_000);
+    let log = shell.log().clone();
+    assert_eq!(log.events.len(), 32, "every live frame must be recorded");
+
+    differential("live-shell-replay", |k| {
+        let mut sys = with_kernel(build_forwarding_system(8).unwrap(), k);
+        let delivered = replay(&log, &mut sys);
+        Observed {
+            trace: sys.take_tracer().unwrap().compact_text(),
+            ledger: format!("{:?}", sys.ledger()),
+            diagnostics: format!("{:?}", sys.diagnostics()),
+            measurement: format!("delivered={}", delivered.len()),
+            received: delivered.len() as u64,
+            injected: log.events.len() as u64,
+            drops: sys.drop_count(),
+        }
+    });
+}
+
+#[test]
 fn fleet_failover_is_kernel_invariant() {
     // The whole rack on trial: a box crash and a brownout drive the fleet
     // ladder (probe misses, ring removal, purge, whole-box reload,
